@@ -1,0 +1,122 @@
+"""Figure 1: the motivation study.
+
+(a) per-component share of private-inference latency per model and
+    framework -- OT extension should dominate (51-69% in the paper);
+(b) CPU OTE per-execution latency with the Init/SPCOT/LPN split;
+(c) roofline placement of the SPCOT and LPN kernels.
+"""
+
+import pytest
+
+from repro.baselines.cpu import DEFAULT_CPU
+from repro.baselines.roofline import lpn_point, spcot_point
+from repro.core.calibration import FIG1A_OT_SHARE_RANGE, FIG1B_CPU_PER_EXECUTION_S
+from repro.core.ironman import IronmanSystem
+from repro.lpn.params import TABLE4
+from repro.ppml.network import LAN
+from repro.utils.tables import print_table
+
+FIG1A_CASES = (
+    ("Cheetah", "SqueezeNet"),
+    ("Cheetah", "ResNet50"),
+    ("Cheetah", "DenseNet121"),
+    ("CrypTFlow2", "SqueezeNet"),
+    ("CrypTFlow2", "ResNet50"),
+    ("CrypTFlow2", "DenseNet121"),
+    ("Bolt", "BERT-Base"),
+    ("Bolt", "BERT-Large"),
+    ("Bolt", "GPT2-Small"),
+    ("Bolt", "GPT2-Medium"),
+    ("Bolt", "GPT2-Large"),
+)
+
+
+def test_fig01a_component_breakdown(benchmark, once):
+    system = IronmanSystem()
+
+    def run():
+        rows = []
+        for framework, model in FIG1A_CASES:
+            est = system.estimate(model, framework, LAN, use_ironman=False)
+            rows.append(
+                [
+                    framework,
+                    model,
+                    f"{est.share('ot') * 100:.0f}%",
+                    f"{est.share('he') * 100:.0f}%",
+                    f"{est.share('online') * 100:.0f}%",
+                    f"{est.share('other') * 100:.0f}%",
+                ]
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["framework", "model", "OT ext", "HE comp", "online comm", "other"],
+        rows,
+        title=f"Figure 1(a): latency shares (paper OT share: "
+        f"{FIG1A_OT_SHARE_RANGE[0]*100:.0f}-{FIG1A_OT_SHARE_RANGE[1]*100:.0f}%)",
+    )
+    shares = [float(r[2].rstrip("%")) for r in rows]
+    benchmark.extra_info["ot_share_min"] = min(shares)
+    benchmark.extra_info["ot_share_max"] = max(shares)
+    assert max(shares) >= 50.0
+
+
+def test_fig01b_cpu_ote_latency(benchmark, once):
+    def run():
+        rows = []
+        for params in TABLE4:
+            b = DEFAULT_CPU.execution_breakdown(params)
+            rows.append(
+                [
+                    params.label,
+                    f"{b.init_seconds:.2f}s",
+                    f"{b.spcot_seconds:.2f}s",
+                    f"{b.lpn_seconds:.2f}s",
+                    f"{b.total_seconds:.2f}s",
+                    f"{FIG1B_CPU_PER_EXECUTION_S[params.label]:.2f}s",
+                ]
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["#OTs", "Init", "SPCOT", "LPN", "total", "paper"],
+        rows,
+        title="Figure 1(b): CPU OTE latency per execution",
+    )
+    for row in rows:
+        measured = float(row[4].rstrip("s"))
+        paper = float(row[5].rstrip("s"))
+        assert measured == pytest.approx(paper, rel=0.25)
+
+
+def test_fig01c_roofline(benchmark, once):
+    def run():
+        rows = []
+        for params in TABLE4:
+            for point in (spcot_point(params), lpn_point(params)):
+                rows.append(
+                    [
+                        point.kernel,
+                        point.label,
+                        f"{point.intensity_aes_per_byte:.2e}",
+                        f"{point.achieved_aes_per_s / 1e9:.3f}",
+                        f"{point.roof_aes_per_s / 1e9:.3f}",
+                        point.bound,
+                    ]
+                )
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["kernel", "#OTs", "AI (AES/B)", "achieved GAES/s", "roof GAES/s", "bound"],
+        rows,
+        title="Figure 1(c): roofline (SPCOT compute-bound, LPN memory-bound)",
+    )
+    assert all(r[5] == "compute" for r in rows if r[0] == "spcot")
+    assert all(r[5] == "memory" for r in rows if r[0] == "lpn")

@@ -1,0 +1,69 @@
+"""Figure 7: choosing the expansion arity m.
+
+(a) PRG operations vs m (ChaCha, per Table 4 2^20 execution);
+(b) communication vs m;
+(c) protocol latency under WAN / LAN (compute + comm + rounds).
+
+The paper selects m = 4: a 2.99x op reduction over 2-ary at modest
+extra communication; wider arities buy little compute and hurt
+bandwidth-limited deployments.
+"""
+
+import pytest
+
+from repro.core.calibration import FIG7A_OP_REDUCTION
+from repro.crypto.prg import expansion_calls
+from repro.lpn.params import TABLE4_BY_LABEL
+from repro.nmp.accelerator import IronmanAccelerator
+from repro.nmp.config import IRONMAN_1MB
+from repro.ppml.inference import ote_comm_per_execution
+from repro.ppml.network import LAN, WAN
+from repro.utils.tables import print_table
+
+PARAMS = TABLE4_BY_LABEL["2^20"]
+ARITIES = (2, 4, 8, 16, 32)
+
+
+def test_fig07_mary_tradeoff(benchmark, once):
+    accel = IronmanAccelerator(IRONMAN_1MB)
+
+    def run():
+        rows = []
+        base_ops = PARAMS.t * expansion_calls(PARAMS.ell, 2, "chacha8")
+        for m in ARITIES:
+            ops = PARAMS.t * expansion_calls(PARAMS.ell, m, "chacha8")
+            comm, rounds = ote_comm_per_execution(PARAMS, arity=m)
+            # Protocol latency: accelerator compute (4-ary hardware cost
+            # scales with ops) + interaction.
+            compute = accel.execution_time(PARAMS, arity=min(m, 4)).total_seconds
+            compute *= ops / (PARAMS.t * expansion_calls(PARAMS.ell, 4, "chacha8"))
+            wan = compute + WAN.interaction_seconds(comm, rounds)
+            lan = compute + LAN.interaction_seconds(comm, rounds)
+            rows.append((m, ops, base_ops / ops, comm, wan, lan))
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["m", "ChaCha ops (1e6)", "reduction vs 2-ary", "comm MB", "WAN lat", "LAN lat"],
+        [
+            [
+                m,
+                f"{ops / 1e6:.2f}",
+                f"{red:.2f}x",
+                f"{comm / 1e6:.3f}",
+                f"{wan * 1e3:.1f} ms",
+                f"{lan * 1e3:.1f} ms",
+            ]
+            for m, ops, red, comm, wan, lan in rows
+        ],
+        title="Figure 7: m-ary tree trade-off (paper: 4-ary 2.99x, 32-ary 3.86x)",
+    )
+    by_m = {m: red for m, _, red, *_ in rows}
+    assert by_m[4] == pytest.approx(FIG7A_OP_REDUCTION[4], rel=0.02)
+    assert by_m[32] == pytest.approx(FIG7A_OP_REDUCTION[32], rel=0.02)
+    # Communication grows monotonically with m (Fig 7(b)).
+    comms = [c for _, _, _, c, _, _ in rows]
+    assert all(b > a for a, b in zip(comms, comms[1:]))
+    benchmark.extra_info["reduction_4ary"] = by_m[4]
+    benchmark.extra_info["reduction_32ary"] = by_m[32]

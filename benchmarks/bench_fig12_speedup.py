@@ -1,0 +1,59 @@
+"""Figure 12: OTE latency on CPU / GPU / Ironman.
+
+Sweeps the 2/4/8/16-rank configurations for both memory-side cache
+sizes over all five Table 4 parameter sets (2^25 COTs total), and
+compares the min/max speedup bands with the paper's.
+"""
+
+from repro.core.calibration import FIG12_SPEEDUP_BANDS, GPU_SPEEDUP
+from repro.core.comparison import figure12_sweep, speedup_band
+from repro.utils.tables import print_table
+
+
+def test_fig12_ote_speedup_bands(benchmark, once):
+    rows = once(benchmark, figure12_sweep)
+    print()
+    band_rows = []
+    for (cache_kb, ranks), paper in FIG12_SPEEDUP_BANDS.items():
+        lo, hi = speedup_band(rows, cache_kb, ranks)
+        band_rows.append(
+            [
+                f"{cache_kb}KB",
+                ranks,
+                f"{lo:.2f}x - {hi:.2f}x",
+                f"{paper[0]:.2f}x - {paper[1]:.2f}x",
+            ]
+        )
+    print_table(
+        ["cache", "ranks", "measured band", "paper band"],
+        band_rows,
+        title="Figure 12: OTE speedup over full-thread CPU (2^25 OTs)",
+    )
+    detail = [
+        [r["cache_kb"], r["ranks"], r["params"], f"{r['ironman_s'] * 1e3:.1f} ms",
+         f"{r['speedup_vs_cpu']:.1f}x", f"{r['speedup_vs_gpu']:.1f}x"]
+        for r in rows
+        if r["ranks"] == 16
+    ]
+    print_table(
+        ["cache KB", "ranks", "params", "Ironman latency", "vs CPU", "vs GPU"],
+        detail,
+        title=f"16-rank detail (GPU itself is {GPU_SPEEDUP}x over CPU)",
+    )
+    # Shape assertions: monotone rank scaling, 1MB >= 256KB, best at 2^20.
+    for cache_kb in (256, 1024):
+        prev_hi = 0.0
+        for ranks in (2, 4, 8, 16):
+            lo, hi = speedup_band(rows, cache_kb, ranks)
+            assert hi > prev_hi
+            prev_hi = hi
+    lo256, hi256 = speedup_band(rows, 256, 16)
+    lo1m, hi1m = speedup_band(rows, 1024, 16)
+    assert hi1m > hi256
+    best = max(
+        (r for r in rows if r["cache_kb"] == 1024 and r["ranks"] == 16),
+        key=lambda r: r["speedup_vs_cpu"],
+    )
+    assert best["params"] == "2^20"
+    benchmark.extra_info["band_256k_16r"] = (lo256, hi256)
+    benchmark.extra_info["band_1m_16r"] = (lo1m, hi1m)

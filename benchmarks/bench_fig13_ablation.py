@@ -1,0 +1,103 @@
+"""Figure 13: SPCOT ablation and SPCOT-vs-LPN latency.
+
+(a) m-ary arity x PRG ablation: 4-ary AES 1.5x, 2-ary ChaCha 2x,
+    4-ary ChaCha 6x over the 2-ary AES baseline (op-count driven);
+(b) SPCOT latency against LPN latency across rank configurations: the
+    optimized 4-ary ChaCha SPCOT must stay below LPN everywhere so the
+    overlapped execution is LPN-bound.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.calibration import FIG13A_SPEEDUPS
+from repro.lpn.params import TABLE4_BY_LABEL
+from repro.nmp.accelerator import IronmanAccelerator
+from repro.nmp.config import IRONMAN_1MB
+from repro.nmp.dimm import spcot_execution
+from repro.utils.tables import print_table
+
+PARAMS = TABLE4_BY_LABEL["2^20"]
+VARIANTS = (("aes", 2), ("aes", 4), ("chacha8", 2), ("chacha8", 4))
+
+
+def test_fig13a_spcot_ablation(benchmark, once):
+    # Single-DIMM execution isolates the algorithmic effect (the paper's
+    # ablation hardware point).
+    config = dataclasses.replace(IRONMAN_1MB, spcot_all_dimms=False)
+
+    def run():
+        rows = []
+        base = None
+        for kind, arity in VARIANTS:
+            res = spcot_execution(config, PARAMS, arity=arity, prg_kind=kind)
+            seconds = res.seconds(config.freq_hz)
+            if base is None:
+                base = seconds
+            rows.append((kind, arity, seconds, base / seconds))
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["PRG", "arity", "SPCOT latency", "speedup", "paper"],
+        [
+            [kind, m, f"{sec * 1e3:.2f} ms", f"{sp:.2f}x", f"{FIG13A_SPEEDUPS[(kind, m)]:.1f}x"]
+            for kind, m, sec, sp in rows
+        ],
+        title="Figure 13(a): m-ary tree x PRG ablation (single DIMM)",
+    )
+    measured = {(kind, m): sp for kind, m, _, sp in rows}
+    for key, paper in FIG13A_SPEEDUPS.items():
+        assert measured[key] == pytest.approx(paper, rel=0.1)
+    benchmark.extra_info["combined_speedup"] = measured[("chacha8", 4)]
+
+
+def test_fig13b_spcot_vs_lpn(benchmark, once):
+    def run():
+        rows = []
+        for ranks in (2, 4, 8, 16):
+            config = dataclasses.replace(
+                IRONMAN_1MB.with_ranks(ranks), spcot_all_dimms=False
+            )
+            accel = IronmanAccelerator(config)
+            lpn_s = accel.execution_time(PARAMS).lpn_seconds
+            spcot = {
+                (kind, m): spcot_execution(config, PARAMS, arity=m, prg_kind=kind).seconds(
+                    config.freq_hz
+                )
+                for kind, m in VARIANTS
+            }
+            rows.append((ranks, lpn_s, spcot))
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["ranks", "LPN", "2-ary AES", "4-ary AES", "2-ary ChaCha", "4-ary ChaCha"],
+        [
+            [
+                ranks,
+                f"{lpn * 1e3:.2f} ms",
+                f"{sp[('aes', 2)] * 1e3:.2f} ms",
+                f"{sp[('aes', 4)] * 1e3:.2f} ms",
+                f"{sp[('chacha8', 2)] * 1e3:.2f} ms",
+                f"{sp[('chacha8', 4)] * 1e3:.2f} ms",
+            ]
+            for ranks, lpn, sp in rows
+        ],
+        title="Figure 13(b): SPCOT vs LPN latency (2^20 set)",
+    )
+    # Paper claim: 4-ary ChaCha SPCOT stays below LPN at every config,
+    # so the overlapped execution remains LPN-bound.
+    for ranks, lpn, sp in rows:
+        assert sp[("chacha8", 4)] < lpn
+    # The 2-ary AES baseline erodes the overlap as ranks scale: its
+    # share of the LPN budget grows monotonically (the paper's stronger
+    # claim -- exceeding LPN at every config -- reproduces only as this
+    # trend in our model; see EXPERIMENTS.md).
+    shares = [sp[("aes", 2)] / lpn for _, lpn, sp in rows]
+    assert all(b > a for a, b in zip(shares, shares[1:]))
+    assert shares[-1] > 6 * shares[0] * 0.9  # ~linear in rank count
+    benchmark.extra_info["aes2_share_at_16_ranks"] = shares[-1]

@@ -1,0 +1,71 @@
+"""Figure 14: memory-side cache capacity sweep.
+
+(a) per-parameter-set normalized LPN latency and hit rate, 32KB..2MB;
+(b) average hit rate and SRAM area per capacity.
+
+The paper picks 256 KB for large parameter sets and 1 MB for small
+ones; past the sweet spot, longer SRAM access latency and area cost
+outweigh the shrinking hit-rate gains.
+"""
+
+from repro.lpn.params import TABLE4
+from repro.nmp.config import NmpConfig
+from repro.nmp.rank import simulate_rank_lpn
+from repro.sim.energy import sram_area_mm2
+from repro.utils.tables import print_table
+from repro.utils.units import KIB
+
+CACHE_KBS = (32, 64, 128, 256, 512, 1024, 2048)
+SIM_ACCESSES = 150_000
+
+
+def test_fig14_cache_sweep(benchmark, once):
+    def run():
+        table = {}
+        for kb in CACHE_KBS:
+            config = NmpConfig(cache_bytes=kb * KIB).with_ranks(16)
+            for params in TABLE4:
+                accesses = params.n * 10 // config.n_ranks
+                res = simulate_rank_lpn(
+                    config, params.k, accesses, sim_accesses=SIM_ACCESSES
+                )
+                table[(kb, params.label)] = res
+        return table
+
+    table = once(benchmark, run)
+    print()
+    for params in TABLE4:
+        base = table[(32, params.label)].cycles
+        rows = [
+            [
+                f"{kb} KB",
+                f"{table[(kb, params.label)].hit_rate * 100:.1f}%",
+                f"{table[(kb, params.label)].cycles / base:.3f}",
+            ]
+            for kb in CACHE_KBS
+        ]
+        print_table(
+            ["cache", "hit rate", "norm. latency (vs 32KB)"],
+            rows,
+            title=f"Figure 14(a): output size {params.label} (k={params.k})",
+        )
+    avg_rows = []
+    for kb in CACHE_KBS:
+        avg_hit = sum(table[(kb, p.label)].hit_rate for p in TABLE4) / len(TABLE4)
+        avg_rows.append([f"{kb} KB", f"{avg_hit * 100:.1f}%", f"{sram_area_mm2(kb * KIB):.3f}"])
+    print_table(
+        ["cache", "avg hit rate", "SRAM area mm^2"],
+        avg_rows,
+        title="Figure 14(b): average hit rate and cache area",
+    )
+    # Shape assertions: hit rate monotone in capacity; small-k sets hit more.
+    for params in TABLE4:
+        hits = [table[(kb, params.label)].hit_rate for kb in CACHE_KBS]
+        assert hits[-1] > hits[0]
+    assert (
+        table[(1024, "2^20")].hit_rate > table[(1024, "2^24")].hit_rate
+    )
+    # Latency improves from 32KB to the sweet spot for every set.
+    for params in TABLE4:
+        assert table[(256, params.label)].cycles < table[(32, params.label)].cycles
+    benchmark.extra_info["avg_hit_1mb"] = float(avg_rows[5][1].rstrip("%"))

@@ -1,0 +1,77 @@
+"""Wall-clock microbenchmarks of the functional protocol kernels.
+
+Unlike the figure/table benches (which drive the *hardware models*),
+these measure the actual Python/numpy implementation: the batch
+ciphers, GGM expansion, LPN encoding, and a full scaled-down OTE
+iteration.  They guard against performance regressions in the library
+itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto import blocks
+from repro.crypto.aes import AES128
+from repro.crypto.chacha import keystream
+from repro.crypto.prg import AesTreePrg, ChaChaTreePrg
+from repro.ferret.config import FerretConfig
+from repro.ferret.protocol import ferret_pair
+from repro.lpn.encode import encode_blocks
+from repro.lpn.matrix import generate_matrix
+from repro.lpn.sorting import sort_indices
+from repro.ot.cot import verify_cot
+from repro.spcot.ggm import expand_full
+
+RNG = np.random.default_rng(99)
+BATCH = blocks.random_blocks(1 << 14, RNG)
+
+
+def test_kernel_aes_batch(benchmark):
+    cipher = AES128(b"bench-key-16byte")
+    out = benchmark(cipher.encrypt_blocks, BATCH)
+    assert out.shape == BATCH.shape
+
+
+def test_kernel_chacha8_keystream(benchmark):
+    out = benchmark(keystream, b"k" * 32, b"n" * 12, 1 << 20, 8)
+    assert len(out) == 1 << 20
+
+
+def test_kernel_ggm_expand_chacha_4ary(benchmark):
+    prg = ChaChaTreePrg(4)
+    seed = blocks.random_blocks(1, RNG)
+    levels = benchmark(expand_full, prg, seed, 7)  # 16384 leaves
+    assert levels[-1].shape[0] == 4**7
+
+
+def test_kernel_ggm_expand_aes_2ary(benchmark):
+    prg = AesTreePrg(2)
+    seed = blocks.random_blocks(1, RNG)
+    levels = benchmark(expand_full, prg, seed, 12)  # 4096 leaves
+    assert levels[-1].shape[0] == 2**12
+
+
+def test_kernel_lpn_encode(benchmark):
+    matrix = generate_matrix(1 << 16, 1 << 12, seed=3)
+    vec = blocks.random_blocks(1 << 12, RNG)
+    addend = blocks.random_blocks(1 << 16, RNG)
+    out = benchmark(encode_blocks, matrix, vec, addend)
+    assert out.shape == addend.shape
+
+
+def test_kernel_index_sorting(benchmark):
+    matrix = generate_matrix(1 << 14, 1 << 12, seed=4)
+    layout = benchmark(sort_indices, matrix, 256)
+    assert layout.n_accesses == matrix.n * matrix.d
+
+
+@pytest.mark.parametrize("arity,prg", [(2, "aes"), (4, "chacha8")])
+def test_kernel_ote_iteration(benchmark, arity, prg):
+    """One full scaled OTE iteration (setup amortized out)."""
+    config = FerretConfig.small(scale=1024, arity=arity, prg_kind=prg)
+
+    def run():
+        return ferret_pair(config, rounds=1, seed=8)
+
+    s_out, r_out, _, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert verify_cot(s_out[0], r_out[0])

@@ -1,0 +1,35 @@
+"""Table 2: PRG core comparison (area, perf/area, power/block)."""
+
+import pytest
+
+from repro.core.calibration import TABLE2
+from repro.sim.energy import prg_comparison_rows
+from repro.utils.tables import print_table
+
+
+def test_tab02_prg_comparison(benchmark, once):
+    rows = once(benchmark, prg_comparison_rows)
+    print()
+    print_table(
+        ["PRG", "out bits", "area mm^2", "perf/area vs AES", "power mW", "power/block vs AES"],
+        [
+            [
+                r["prg"],
+                r["output_bits"],
+                f"{r['area_mm2']:.3f}",
+                f"{r['perf_per_area_ratio']:.3f}",
+                f"{r['power_mw']:.2f}",
+                f"{r['power_per_block_ratio']:.3f}",
+            ]
+            for r in rows
+        ],
+        title="Table 2: PRGs comparison",
+    )
+    chacha = next(r for r in rows if r["prg"] == "ChaCha8")
+    assert chacha["perf_per_area_ratio"] == pytest.approx(
+        TABLE2["chacha8"]["perf_area_ratio"], rel=0.05
+    )
+    assert chacha["power_per_block_ratio"] == pytest.approx(
+        TABLE2["chacha8"]["power_block_ratio"], rel=0.01
+    )
+    benchmark.extra_info["chacha_perf_area"] = chacha["perf_per_area_ratio"]

@@ -1,0 +1,39 @@
+"""Table 4: OT-extension parameter sets and their bit security."""
+
+import pytest
+
+from repro.lpn.params import TABLE4
+from repro.lpn.security import estimate_security
+from repro.utils.tables import print_table
+
+
+def test_tab04_parameter_sets(benchmark, once):
+    def run():
+        rows = []
+        for p in TABLE4:
+            est = estimate_security(p)
+            rows.append(
+                [
+                    p.label,
+                    p.n,
+                    p.ell,
+                    p.k,
+                    p.t,
+                    f"{est.bits:.1f}",
+                    f"{p.paper_security_bits:.1f}",
+                ]
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    print()
+    print_table(
+        ["#OTs", "n", "l", "k", "t", "est. security", "paper"],
+        rows,
+        title="Table 4: PCG-style OTE parameter sets",
+    )
+    for row in rows:
+        est, paper = float(row[5]), float(row[6])
+        assert est >= 128.0
+        assert est == pytest.approx(paper, abs=12)
+    benchmark.extra_info["min_security_bits"] = min(float(r[5]) for r in rows)

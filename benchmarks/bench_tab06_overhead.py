@@ -1,0 +1,38 @@
+"""Table 6: Ironman-NMP design overhead (area / power)."""
+
+import pytest
+
+from repro.core.calibration import TABLE6
+from repro.core.comparison import gpu_comparison
+from repro.lpn.params import TABLE4_BY_LABEL
+from repro.nmp.config import IRONMAN_1MB
+from repro.sim.energy import nmp_overhead, table6_rows
+from repro.utils.tables import print_table
+from repro.utils.units import KIB, MIB
+
+
+def test_tab06_design_overhead(benchmark, once):
+    rows = once(benchmark, table6_rows)
+    print()
+    print_table(
+        ["component", "area mm^2", "power W"],
+        [[r["component"], f"{r['area_mm2']:.3f}", f"{r['power_w']:.3f}"] for r in rows],
+        title="Table 6: design overhead of Ironman-NMP",
+    )
+    small = nmp_overhead(256 * KIB)
+    large = nmp_overhead(MIB)
+    assert small.area_mm2 == pytest.approx(TABLE6["nmp_256k_area_mm2"], rel=0.02)
+    assert large.area_mm2 == pytest.approx(TABLE6["nmp_1m_area_mm2"], rel=0.01)
+    assert small.power_w == pytest.approx(TABLE6["nmp_256k_power_w"], rel=0.02)
+    assert large.power_w == pytest.approx(TABLE6["nmp_1m_power_w"], rel=0.01)
+
+    gpu = gpu_comparison(IRONMAN_1MB, TABLE4_BY_LABEL["2^20"])
+    print(
+        f"vs A6000 GPU: {gpu['latency_ratio']:.1f}x lower latency (paper 40.31x), "
+        f"{gpu['power_ratio']:.1f}x lower power (paper 84.5x; full-system "
+        f"{gpu['ironman_power_w']:.1f} W vs {gpu['gpu_power_w']:.0f} W)"
+    )
+    assert gpu["latency_ratio"] > 1.0
+    assert gpu["power_ratio"] > 10.0
+    benchmark.extra_info["gpu_latency_ratio"] = gpu["latency_ratio"]
+    benchmark.extra_info["gpu_power_ratio"] = gpu["power_ratio"]

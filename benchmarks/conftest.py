@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the relevant model/simulation under ``pytest-benchmark`` (one round --
+these are macro simulations, not microseconds-level kernels except in
+``bench_kernels.py``), prints the paper-vs-measured rows, and attaches
+the headline numbers to ``benchmark.extra_info`` so they land in the
+saved benchmark JSON.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run a macro-benchmark exactly once under timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

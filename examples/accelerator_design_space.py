@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Design-space exploration of the Ironman NMP accelerator.
+
+Sweeps the two first-order hardware knobs the paper studies -- active
+rank count (Figure 12/13) and memory-side cache capacity (Figure 14) --
+and prints latency, hit rate and silicon cost for each point, plus the
+index-sorting ablation of Section 5.3.
+
+Run:  python examples/accelerator_design_space.py
+"""
+
+from repro import IronmanAccelerator, NmpConfig, TABLE4_BY_LABEL
+from repro.nmp.rank import simulate_rank_lpn
+from repro.sim.energy import nmp_overhead
+from repro.utils.tables import print_table
+from repro.utils.units import KIB
+
+PARAMS = TABLE4_BY_LABEL["2^22"]
+
+
+def rank_sweep():
+    rows = []
+    for ranks in (2, 4, 8, 16):
+        config = NmpConfig(cache_bytes=256 * KIB).with_ranks(ranks)
+        exe = IronmanAccelerator(config).execution_time(PARAMS)
+        rows.append(
+            [
+                ranks,
+                f"{exe.spcot_seconds * 1e3:.2f} ms",
+                f"{exe.lpn_seconds * 1e3:.2f} ms",
+                f"{exe.total_seconds * 1e3:.2f} ms",
+                exe.bottleneck,
+            ]
+        )
+    print_table(
+        ["ranks", "SPCOT", "LPN", "total/exec", "bottleneck"],
+        rows,
+        title=f"Rank scaling ({PARAMS.label} set, 256KB cache)",
+    )
+
+
+def cache_sweep():
+    rows = []
+    for kb in (32, 64, 128, 256, 512, 1024, 2048):
+        config = NmpConfig(cache_bytes=kb * KIB).with_ranks(16)
+        exe = IronmanAccelerator(config).execution_time(PARAMS)
+        cost = nmp_overhead(kb * KIB)
+        rows.append(
+            [
+                f"{kb} KB",
+                f"{exe.lpn_rank.hit_rate * 100:.1f}%",
+                f"{exe.lpn_seconds * 1e3:.2f} ms",
+                f"{cost.area_mm2:.2f} mm^2",
+                f"{cost.power_w:.2f} W",
+            ]
+        )
+    print_table(
+        ["cache", "hit rate", "LPN/exec", "PU area", "PU power"],
+        rows,
+        title=f"Memory-side cache sweep ({PARAMS.label} set, 16 ranks)",
+    )
+
+
+def sorting_ablation():
+    config = NmpConfig(cache_bytes=256 * KIB).with_ranks(16)
+    accesses = PARAMS.n * 10 // config.n_ranks
+    rows = []
+    for sorting, label in (
+        ("none", "baseline (row-major random)"),
+        ("colswap", "column swapping only"),
+        ("full", "col swap + row look-ahead"),
+    ):
+        res = simulate_rank_lpn(config, PARAMS.k, accesses, sorting=sorting)
+        rows.append(
+            [label, f"{res.hit_rate * 100:.1f}%", f"{res.seconds(config.freq_hz) * 1e3:.2f} ms"]
+        )
+    print_table(
+        ["index layout", "hit rate", "LPN/exec"],
+        rows,
+        title="Index-sorting ablation (Section 5.3)",
+    )
+
+
+if __name__ == "__main__":
+    rank_sweep()
+    cache_sweep()
+    sorting_ablation()

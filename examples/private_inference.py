@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""End-to-end private inference latency with and without Ironman.
+
+Reproduces the Table 5 methodology for a few representative
+model/framework pairs: HE linear layers, OT-extension preprocessing
+(CPU baseline vs the Ironman accelerator), and online communication,
+under the paper's LAN and WAN settings.
+
+Run:  python examples/private_inference.py
+"""
+
+from repro import IronmanSystem
+from repro.ppml.models import build
+from repro.ppml.network import LAN, WAN
+from repro.utils.tables import print_table
+
+CASES = (
+    ("Cheetah", "ResNet50"),
+    ("CrypTFlow2", "ResNet18"),
+    ("Bolt", "BERT-Base"),
+)
+
+
+def main():
+    system = IronmanSystem()
+    print(f"Ironman config: {system.config.n_ranks} ranks, "
+          f"{system.config.cache_bytes // 1024}KB memory-side cache\n")
+
+    for framework, model_name in CASES:
+        model = build(model_name)
+        counts = model.nonlinear_counts()
+        print(f"== {framework} / {model_name} "
+              f"({model.total_macs / 1e9:.2f} GMACs, "
+              f"{sum(counts.values()) / 1e6:.2f}M nonlinear elements)")
+        rows = []
+        for network in (LAN, WAN):
+            base = system.estimate(model_name, framework, network, use_ironman=False)
+            ours = system.estimate(model_name, framework, network, use_ironman=True)
+            rows.append(
+                [
+                    network.name,
+                    f"{base.total_seconds:.1f}s",
+                    f"{base.share('ot') * 100:.0f}%",
+                    f"{ours.total_seconds:.1f}s",
+                    f"{base.total_seconds / ours.total_seconds:.2f}x",
+                ]
+            )
+        print_table(
+            ["network", "baseline", "OT share", "w/ Ironman", "speedup"], rows
+        )
+
+
+if __name__ == "__main__":
+    main()

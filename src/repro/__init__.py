@@ -1,0 +1,67 @@
+"""Ironman reproduction: PCG-style OT extension with near-memory processing.
+
+A from-scratch Python implementation of the system in *Ironman:
+Accelerating Oblivious Transfer Extension for Privacy-Preserving AI
+with Near-Memory Processing* (MICRO 2025):
+
+* a **functional** Ferret-style OT extension protocol (real ChaCha8 /
+  AES-128 cryptography, GGM trees, LPN encoding, base OTs) running
+  between two in-memory parties with exact communication accounting;
+* a **cycle-level hardware model** of the Ironman NMP accelerator
+  (DDR4 timing, memory-side cache, index sorting, pipelined PRG cores,
+  unified sender/receiver unit) plus calibrated CPU/GPU baselines;
+* a **PPML application layer** (model zoo + framework cost models)
+  reproducing the paper's end-to-end private-inference evaluation.
+
+Quick start::
+
+    from repro import FerretConfig, ferret_pair, verify_cot
+    cfg = FerretConfig.small()
+    s_out, r_out, *_ = ferret_pair(cfg, rounds=1)
+    assert verify_cot(s_out[0], r_out[0])
+
+    from repro import IronmanSystem
+    print(IronmanSystem().ote_speedup("2^20"))
+"""
+
+from repro.errors import (
+    ChannelError,
+    ParameterError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+from repro.ferret.config import FerretConfig
+from repro.ferret.protocol import FerretReceiver, FerretSender, ferret_pair
+from repro.lpn.params import LpnParams, TABLE4, TABLE4_BY_LABEL
+from repro.nmp.accelerator import IronmanAccelerator
+from repro.nmp.config import IRONMAN_1MB, IRONMAN_256KB, NmpConfig
+from repro.ot.cot import CotReceiverBatch, CotSenderBatch, verify_cot
+from repro.core.ironman import IronmanSystem, table5_rows
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChannelError",
+    "CotReceiverBatch",
+    "CotSenderBatch",
+    "FerretConfig",
+    "FerretReceiver",
+    "FerretSender",
+    "IRONMAN_1MB",
+    "IRONMAN_256KB",
+    "IronmanAccelerator",
+    "IronmanSystem",
+    "LpnParams",
+    "NmpConfig",
+    "ParameterError",
+    "ProtocolError",
+    "ReproError",
+    "SimulationError",
+    "TABLE4",
+    "TABLE4_BY_LABEL",
+    "ferret_pair",
+    "table5_rows",
+    "verify_cot",
+    "__version__",
+]

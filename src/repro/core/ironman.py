@@ -1,0 +1,117 @@
+"""Top-level facade: the Ironman system assembled.
+
+Ties together the functional OTE protocol (correctness), the NMP
+timing models (performance) and the PPML application layer into the
+objects the examples and benchmarks drive:
+
+* :class:`IronmanSystem` -- one deployment: hardware config +
+  accelerator + OT providers + application estimator.
+* :func:`table5_rows` -- regenerate the paper's end-to-end table: the
+  "other computation" residual per (framework, model) is backed out of
+  the paper's measured LAN baseline, then the same residual is used
+  for the WAN prediction and for the Ironman rows, so speedups are
+  genuine model outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.cpu import DEFAULT_CPU
+from repro.core import calibration
+from repro.errors import ParameterError
+from repro.lpn.params import TABLE4_BY_LABEL, LpnParams
+from repro.nmp.accelerator import IronmanAccelerator
+from repro.nmp.config import IRONMAN_1MB, NmpConfig
+from repro.ppml import models
+from repro.ppml.inference import (
+    CpuOte,
+    DEFAULT_APP_PARAMS,
+    InferenceBreakdown,
+    IronmanOte,
+    estimate_inference,
+)
+from repro.ppml.network import LAN, WAN, NetworkModel
+from repro.ppml.nonlinear import FRAMEWORKS, FrameworkProfile
+
+
+@dataclass
+class IronmanSystem:
+    """One Ironman deployment with its application-facing providers."""
+
+    config: NmpConfig = None
+    app_params: LpnParams = None
+
+    def __post_init__(self):
+        self.config = self.config or IRONMAN_1MB
+        self.app_params = self.app_params or DEFAULT_APP_PARAMS
+        self.accelerator = IronmanAccelerator(self.config)
+
+    def ote_provider(self) -> IronmanOte:
+        return IronmanOte(self.app_params, self.accelerator)
+
+    def cpu_provider(self) -> CpuOte:
+        return CpuOte(self.app_params, DEFAULT_CPU)
+
+    def ote_speedup(self, label: str = "2^20", total_ots: int = 1 << 25) -> float:
+        """OT-generation speedup over the CPU baseline for one set."""
+        params = TABLE4_BY_LABEL[label]
+        cpu = DEFAULT_CPU.latency_for(params, total_ots)
+        ours = self.accelerator.latency_for(params, total_ots)
+        return cpu / ours
+
+    def estimate(
+        self,
+        model_name: str,
+        framework: str,
+        network: NetworkModel = LAN,
+        use_ironman: bool = True,
+    ) -> InferenceBreakdown:
+        """End-to-end estimate with the calibrated 'other' residual."""
+        profile = _profile(framework)
+        model = models.build(model_name)
+        other = other_seconds(model_name, framework)
+        provider = self.ote_provider() if use_ironman else self.cpu_provider()
+        return estimate_inference(model, profile, provider, network, other)
+
+
+def _profile(framework: str) -> FrameworkProfile:
+    if framework not in FRAMEWORKS:
+        raise ParameterError(f"unknown framework {framework!r}")
+    return FRAMEWORKS[framework]
+
+
+def other_seconds(model_name: str, framework: str) -> float:
+    """The 'other computation' residual backed out of Table 5 (LAN base).
+
+    residual = measured LAN baseline - (HE + CPU-OTE + online comm).
+    Clamped at zero when our component model already covers (or
+    overshoots) the measured baseline; EXPERIMENTS.md reports which
+    rows clamp.
+    """
+    key = (framework, model_name)
+    if key not in calibration.TABLE5:
+        return 0.0
+    lan_base = calibration.TABLE5[key][3]
+    profile = _profile(framework)
+    model = models.build(model_name)
+    provider = CpuOte(DEFAULT_APP_PARAMS, DEFAULT_CPU)
+    base = estimate_inference(model, profile, provider, LAN, other_seconds=0.0)
+    return max(0.0, lan_base - base.total_seconds)
+
+
+def table5_rows(system: IronmanSystem = None, networks=(WAN, LAN)) -> list:
+    """Regenerate Table 5: per row, base and Ironman latency + speedup."""
+    system = system or IronmanSystem()
+    rows = []
+    for (framework, model_name), paper in calibration.TABLE5.items():
+        row = {"framework": framework, "model": model_name, "paper": paper}
+        for network in networks:
+            base = system.estimate(model_name, framework, network, use_ironman=False)
+            ours = system.estimate(model_name, framework, network, use_ironman=True)
+            tag = "wan" if network is WAN else "lan"
+            row[f"{tag}_base"] = base.total_seconds
+            row[f"{tag}_ours"] = ours.total_seconds
+            row[f"{tag}_speedup"] = base.total_seconds / ours.total_seconds
+        rows.append(row)
+    return rows

@@ -1,0 +1,155 @@
+"""128-bit block algebra on top of numpy.
+
+Every cryptographic value in PCG-style OT extension is a 128-bit
+"block" (the security parameter lambda = 128).  We represent an array
+of n blocks as a numpy array of shape ``(n, 2)`` and dtype ``uint64``
+(little-endian: column 0 holds the low 64 bits).  This keeps XOR --
+the single most common operation in the whole protocol stack -- a
+vectorized one-liner while still allowing byte-level views for the
+AES / ChaCha kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: dtype used for block arrays.
+BLOCK_DTYPE = np.uint64
+
+#: number of bytes in one block.
+BLOCK_BYTES = 16
+
+
+def zeros(n: int) -> np.ndarray:
+    """Return ``n`` all-zero blocks."""
+    return np.zeros((n, 2), dtype=BLOCK_DTYPE)
+
+
+def is_block_array(x) -> bool:
+    """Return True if ``x`` looks like a block array of shape (n, 2)."""
+    return (
+        isinstance(x, np.ndarray)
+        and x.dtype == BLOCK_DTYPE
+        and x.ndim == 2
+        and x.shape[1] == 2
+    )
+
+
+def require_blocks(x, name: str = "value") -> np.ndarray:
+    """Validate that ``x`` is a block array and return it."""
+    if not is_block_array(x):
+        raise ParameterError(f"{name} must be a (n, 2) uint64 block array, got {x!r}")
+    return x
+
+
+def random_blocks(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample ``n`` uniformly random blocks from ``rng``."""
+    raw = rng.integers(0, 2**64, size=(n, 2), dtype=np.uint64)
+    return raw
+
+
+def single(lo: int, hi: int = 0) -> np.ndarray:
+    """Build a one-block array from two 64-bit integers."""
+    return np.array([[lo, hi]], dtype=BLOCK_DTYPE)
+
+
+def xor(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise XOR of two block arrays (broadcasting allowed)."""
+    return np.bitwise_xor(a, b)
+
+
+def xor_reduce(a: np.ndarray) -> np.ndarray:
+    """XOR all blocks of ``a`` together, returning a single (1, 2) block."""
+    if a.shape[0] == 0:
+        return zeros(1)
+    return np.bitwise_xor.reduce(a, axis=0, keepdims=True)
+
+
+def equal(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-block equality as a boolean vector."""
+    return np.all(a == b, axis=-1)
+
+
+def to_bytes(a: np.ndarray) -> bytes:
+    """Serialize a block array to little-endian bytes (16 bytes/block)."""
+    return np.ascontiguousarray(a, dtype=BLOCK_DTYPE).tobytes()
+
+
+def from_bytes(data: bytes) -> np.ndarray:
+    """Deserialize blocks previously produced by :func:`to_bytes`."""
+    if len(data) % BLOCK_BYTES != 0:
+        raise ParameterError(
+            f"block byte string length {len(data)} is not a multiple of {BLOCK_BYTES}"
+        )
+    flat = np.frombuffer(data, dtype=BLOCK_DTYPE)
+    return flat.reshape(-1, 2).copy()
+
+
+def to_uint8(a: np.ndarray) -> np.ndarray:
+    """View a block array as bytes of shape (n, 16) (little-endian)."""
+    return np.ascontiguousarray(a).view(np.uint8).reshape(-1, BLOCK_BYTES)
+
+
+def from_uint8(b: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_uint8`."""
+    if b.ndim != 2 or b.shape[1] != BLOCK_BYTES:
+        raise ParameterError("expected a (n, 16) uint8 array")
+    return np.ascontiguousarray(b, dtype=np.uint8).view(BLOCK_DTYPE).reshape(-1, 2)
+
+
+def to_uint32(a: np.ndarray) -> np.ndarray:
+    """View a block array as (n, 4) little-endian uint32 words."""
+    return np.ascontiguousarray(a).view(np.uint32).reshape(-1, 4)
+
+
+def from_uint32(w: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_uint32`."""
+    if w.ndim != 2 or w.shape[1] != 4:
+        raise ParameterError("expected a (n, 4) uint32 array")
+    return np.ascontiguousarray(w, dtype=np.uint32).view(BLOCK_DTYPE).reshape(-1, 2)
+
+
+def to_int(a: np.ndarray) -> int:
+    """Convert a single block (shape (1, 2) or (2,)) to a Python int."""
+    flat = np.asarray(a, dtype=BLOCK_DTYPE).reshape(-1)
+    if flat.shape[0] != 2:
+        raise ParameterError("to_int expects exactly one block")
+    return int(flat[0]) | (int(flat[1]) << 64)
+
+
+def from_int(value: int) -> np.ndarray:
+    """Convert a Python int (< 2**128) to a single block."""
+    if not 0 <= value < 2**128:
+        raise ParameterError("block integers must be in [0, 2^128)")
+    return single(value & 0xFFFFFFFFFFFFFFFF, value >> 64)
+
+
+def get_lsb(a: np.ndarray) -> np.ndarray:
+    """Return the least-significant bit of each block as uint8."""
+    return (a[:, 0] & np.uint64(1)).astype(np.uint8)
+
+
+def set_lsb(a: np.ndarray, bit: int = 1) -> np.ndarray:
+    """Return a copy of ``a`` with every block's LSB forced to ``bit``."""
+    out = a.copy()
+    out[:, 0] &= np.uint64(0xFFFFFFFFFFFFFFFE)
+    out[:, 0] |= np.uint64(bit & 1)
+    return out
+
+
+def mul_bit(blocks: np.ndarray, bits: np.ndarray) -> np.ndarray:
+    """Multiply each block by a GF(2) scalar: out[i] = bits[i] * blocks[i].
+
+    Used for the COT correlation check ``w = v XOR u * Delta``.
+    ``blocks`` may also be a single block broadcast against ``bits``.
+    """
+    bits = np.asarray(bits, dtype=np.uint64).reshape(-1, 1)
+    mask = (~(bits - np.uint64(1))) & np.uint64(0xFFFFFFFFFFFFFFFF)
+    return np.bitwise_and(blocks, mask.astype(BLOCK_DTYPE))
+
+
+def hexdigest(a: np.ndarray) -> str:
+    """Human-readable hex rendering of a block array (debug helper)."""
+    return to_bytes(a).hex()

@@ -1,0 +1,177 @@
+"""Tree PRGs: the length-expanding generators that drive GGM trees.
+
+The paper contrasts two constructions (Section 4.1, Figure 6):
+
+* **AES-based**: child ``j`` of node ``s`` is ``AES_kj(s) XOR s`` -- one
+  AES call per child, so an m-ary expansion costs m calls.
+* **ChaCha8-based**: one ChaCha call outputs 512 bits = four children,
+  so a 4-ary expansion costs a single call and an m-ary expansion costs
+  ``ceil(m / 4)`` calls.
+
+Both are exposed behind :class:`TreePrg`, which also counts core
+invocations -- the quantity plotted in Figure 7(a) and fed to the
+hardware pipeline model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.crypto import blocks
+from repro.crypto.aes import AES128
+from repro.crypto.chacha import chacha_core, make_states
+from repro.errors import ParameterError
+
+#: Blocks produced per ChaCha core invocation (512-bit output).
+CHACHA_BLOCKS_PER_CALL = 4
+
+
+class TreePrg:
+    """Interface for an m-ary length-expanding PRG.
+
+    Subclasses implement :meth:`expand`, mapping ``n`` parent nodes to
+    ``n * arity`` children, and report their per-expansion core-call
+    cost through :attr:`calls_per_expand`.
+    """
+
+    #: number of children produced per parent node.
+    arity: int
+    #: core invocations (AES encryptions / ChaCha permutations) per parent.
+    calls_per_expand: int
+    #: short human-readable name ("aes", "chacha8").
+    name: str
+
+    def __init__(self):
+        self.total_calls = 0
+
+    def expand(self, nodes: np.ndarray, level: int) -> np.ndarray:
+        """Expand parents into children.
+
+        Args:
+            nodes: (n, 2) block array of parent values.
+            level: tree level of the parents (used as a public tweak).
+
+        Returns:
+            (n * arity, 2) block array; children of parent ``i`` occupy
+            rows ``[i * arity, (i + 1) * arity)``.
+        """
+        raise NotImplementedError
+
+    def reset_counter(self) -> None:
+        """Zero the core-invocation counter."""
+        self.total_calls = 0
+
+
+def _derive_aes_keys(master: bytes, count: int) -> list:
+    """Derive ``count`` independent AES keys from a master seed string."""
+    keys = []
+    for i in range(count):
+        digest = hashlib.sha256(master + b"|aes-tree-key|" + i.to_bytes(4, "little"))
+        keys.append(digest.digest()[:16])
+    return keys
+
+
+class AesTreePrg(TreePrg):
+    """m-ary tree PRG from m fixed-key AES instances (the CPU baseline).
+
+    ``child_j(s) = AES_{k_j}(s) XOR s`` -- the XOR feed-forward makes
+    each branch a one-way (Davies-Meyer style) function of the parent.
+    """
+
+    name = "aes"
+
+    def __init__(self, arity: int = 2, master_key: bytes = b"ironman-aes-prg"):
+        super().__init__()
+        if arity < 2:
+            raise ParameterError("tree arity must be >= 2")
+        self.arity = arity
+        self.calls_per_expand = arity
+        self._ciphers = [AES128(k) for k in _derive_aes_keys(master_key, arity)]
+
+    def expand(self, nodes: np.ndarray, level: int) -> np.ndarray:
+        blocks.require_blocks(nodes, "nodes")
+        n = nodes.shape[0]
+        out = np.empty((n * self.arity, 2), dtype=blocks.BLOCK_DTYPE)
+        for j, cipher in enumerate(self._ciphers):
+            out[j :: self.arity] = blocks.xor(cipher.encrypt_blocks(nodes), nodes)
+        self.total_calls += n * self.arity
+        return out
+
+
+class ChaChaTreePrg(TreePrg):
+    """m-ary tree PRG from ChaCha (default ChaCha8, as Ironman deploys).
+
+    One core call yields four children; wider arities issue
+    ``ceil(arity / 4)`` calls with distinct lane indices.  The parent
+    block is replicated into the 256-bit ChaCha key and the (public)
+    level / lane indices go into the nonce, so expansion is a pure
+    function of (parent value, level) shared by sender and receiver.
+    """
+
+    def __init__(self, arity: int = 4, rounds: int = 8, salt: bytes = b"ironman-chacha"):
+        super().__init__()
+        if arity < 2:
+            raise ParameterError("tree arity must be >= 2")
+        self.arity = arity
+        self.rounds = rounds
+        self.name = f"chacha{rounds}"
+        self.calls_per_expand = -(-arity // CHACHA_BLOCKS_PER_CALL)  # ceil division
+        digest = hashlib.sha256(salt).digest()
+        self._salt_words = np.frombuffer(digest[:16], dtype="<u4")
+
+    def expand(self, nodes: np.ndarray, level: int) -> np.ndarray:
+        blocks.require_blocks(nodes, "nodes")
+        n = nodes.shape[0]
+        calls = self.calls_per_expand
+        # Key = seed words || seed words XOR salt (a cheap domain separation
+        # that fills the 256-bit key from a 128-bit node value).
+        seed_words = blocks.to_uint32(nodes)
+        key_words = np.empty((n * calls, 8), dtype=np.uint32)
+        repeated = np.repeat(seed_words, calls, axis=0)
+        key_words[:, 0:4] = repeated
+        key_words[:, 4:8] = repeated ^ self._salt_words
+        lane = np.tile(np.arange(calls, dtype=np.uint32), n)
+        nonce = np.empty((n * calls, 3), dtype=np.uint32)
+        nonce[:, 0] = np.uint32(level)
+        nonce[:, 1] = lane
+        nonce[:, 2] = self._salt_words[0]
+        state = make_states(key_words, np.zeros(n * calls, dtype=np.uint32), nonce)
+        stream = chacha_core(state, self.rounds)  # (n*calls, 16) uint32
+        # Each call row holds 4 candidate children; keep the first `arity`
+        # children per parent in order.
+        children = stream.reshape(n, calls * CHACHA_BLOCKS_PER_CALL, 4)
+        wanted = children[:, : self.arity, :].reshape(-1, 4)
+        self.total_calls += n * calls
+        return blocks.from_uint32(np.ascontiguousarray(wanted))
+
+
+def make_tree_prg(kind: str, arity: int) -> TreePrg:
+    """Factory used by configs: ``kind`` in {"aes", "chacha8", "chacha20"}."""
+    kind = kind.lower()
+    if kind == "aes":
+        return AesTreePrg(arity=arity)
+    if kind.startswith("chacha"):
+        rounds = int(kind[len("chacha") :] or 8)
+        return ChaChaTreePrg(arity=arity, rounds=rounds)
+    raise ParameterError(f"unknown PRG kind {kind!r}")
+
+
+def expansion_calls(n_leaves: int, arity: int, prg_kind: str) -> int:
+    """Closed-form PRG core-call count to expand a tree with ``n_leaves``.
+
+    Matches the paper's accounting (Section 4.1): internal nodes number
+    ``(leaves - 1) / (m - 1)``; AES issues ``m`` calls per node, ChaCha
+    ``ceil(m / 4)``.
+    """
+    if n_leaves < 1:
+        raise ParameterError("n_leaves must be positive")
+    internal = (n_leaves - 1) // (arity - 1)
+    if prg_kind == "aes":
+        per_node = arity
+    elif prg_kind.startswith("chacha"):
+        per_node = -(-arity // CHACHA_BLOCKS_PER_CALL)
+    else:
+        raise ParameterError(f"unknown PRG kind {prg_kind!r}")
+    return internal * per_node

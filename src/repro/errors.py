@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ProtocolError(ReproError):
+    """A two-party protocol received an unexpected or malformed message."""
+
+
+class ParameterError(ReproError):
+    """An invalid cryptographic or hardware parameter was supplied."""
+
+
+class ChannelError(ReproError):
+    """A channel was used out of order (e.g. recv on an empty queue)."""
+
+
+class SimulationError(ReproError):
+    """A hardware simulation was driven into an inconsistent state."""

@@ -1,0 +1,71 @@
+"""LPN bit-security estimation for the Table 4 parameter sets.
+
+The paper verifies its parameters "provide sufficient 128-bit security
+... based on [LWYY24]".  We implement the two classical attack-cost
+estimates that dominate for primal LPN with regular noise in this
+parameter regime:
+
+* **Pooled Gaussian elimination**: guess ``k`` noise-free coordinates
+  and solve; success probability per trial is ``(1 - k/n)^t`` (the
+  regular-noise refinement changes this only in lower-order terms), and
+  each trial costs one k x k solve (~ k^omega bit operations).
+* **Prange information-set decoding**: the same leading exponent with a
+  different per-iteration polynomial factor.
+
+The estimator returns the min-cost attack in bits.  It tracks Table 4
+to within a few bits (the paper's numbers come from the heavier LWYY24
+machinery); the tests assert >= 128 bits and closeness to the quoted
+column, and EXPERIMENTS.md records the residuals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.lpn.params import LpnParams
+
+#: Matrix-multiplication exponent used for the per-trial linear algebra.
+MATMUL_OMEGA = 2.8
+
+
+@dataclass(frozen=True)
+class SecurityEstimate:
+    """Attack costs in log2(bit operations)."""
+
+    gauss_bits: float
+    isd_bits: float
+
+    @property
+    def bits(self) -> float:
+        return min(self.gauss_bits, self.isd_bits)
+
+
+def gauss_attack_bits(n: int, k: int, t: int) -> float:
+    """Pooled-Gauss cost: trials * per-trial linear algebra."""
+    trials_log2 = -t * math.log2(1.0 - k / n)
+    per_trial_log2 = MATMUL_OMEGA * math.log2(k)
+    return trials_log2 + per_trial_log2
+
+
+def isd_attack_bits(n: int, k: int, t: int) -> float:
+    """Prange ISD cost: C(n, t)/C(n-k, t) iterations, each a Gaussian
+    elimination on the permuted parity-check matrix (~ (n-k)^omega)."""
+    iters_log2 = 0.0
+    for i in range(t):
+        iters_log2 += math.log2((n - i) / (n - k - i))
+    per_iter_log2 = MATMUL_OMEGA * math.log2(n - k)
+    return iters_log2 + per_iter_log2
+
+
+def estimate_security(params: LpnParams) -> SecurityEstimate:
+    """Estimate bit security of one Table 4 parameter set."""
+    return SecurityEstimate(
+        gauss_bits=gauss_attack_bits(params.n, params.k, params.t),
+        isd_bits=isd_attack_bits(params.n, params.k, params.t),
+    )
+
+
+def meets_128_bits(params: LpnParams, margin: float = 0.0) -> bool:
+    """True if the cheapest modeled attack costs at least 2^(128+margin)."""
+    return estimate_security(params).bits >= 128.0 + margin

@@ -1,0 +1,123 @@
+"""Offline index sorting for the memory-side cache (Section 5.3, Fig 11).
+
+The LPN access stream -- 10 random indices into a k-block vector per
+output -- defeats any cache.  Because the matrix is fixed, Ironman
+sorts it once at compile time with two cooperating transforms:
+
+* **Column swapping**: relabel the k columns (and permute the input
+  vector identically) so that the storage order follows first-use
+  order.  Accesses that were scattered become closer to sequential,
+  turning 64-byte DRAM lines (4 blocks) into multi-hit lines.
+* **Row look-ahead**: instead of streaming strictly row by row, the
+  accesses of a *window* of upcoming rows are emitted grouped by
+  column, so a line brought in for one row also serves near-future
+  rows.  A Rowidx side array remembers which output each access
+  belongs to, which is all the XOR accumulator needs.
+
+The output is a :class:`SortedLayout`: Colidx/Rowidx streams plus the
+column permutation.  ``repro.lpn.encode.encode_streamed`` consumes it
+functionally; ``repro.nmp.rank`` replays it through the cache + DRAM
+timing models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.lpn.matrix import LpnMatrix
+
+#: Default look-ahead window, in matrix rows (outputs).
+DEFAULT_WINDOW_ROWS = 256
+
+
+@dataclass
+class SortedLayout:
+    """A locality-optimized access stream for one LPN matrix.
+
+    Attributes:
+        cols: column index per access, in replay order (len n*d).
+        rows: output row per access, aligned with ``cols``.
+        perm: column relabeling applied (identity when disabled);
+            position ``i`` of the original vector lives at ``perm[i]``.
+        window_rows: look-ahead window used (1 = plain row-major).
+    """
+
+    cols: np.ndarray
+    rows: np.ndarray
+    perm: np.ndarray
+    window_rows: int
+
+    @property
+    def n_accesses(self) -> int:
+        return self.cols.shape[0]
+
+    def permute_vector(self, vec: np.ndarray) -> np.ndarray:
+        """Reorder an input vector to match the column relabeling."""
+        out = np.empty_like(vec)
+        out[self.perm] = vec
+        return out
+
+
+def column_first_use_permutation(matrix: LpnMatrix) -> np.ndarray:
+    """Relabel columns by first appearance in the row-major stream.
+
+    Returns ``perm`` with ``perm[old] = new``; never-used columns are
+    appended after all used ones (their order is irrelevant).
+    """
+    stream = matrix.access_stream()
+    first_use = np.full(matrix.k, np.iinfo(np.int64).max, dtype=np.int64)
+    # Reverse traversal: the final write per column is its first use.
+    positions = np.arange(stream.shape[0] - 1, -1, -1, dtype=np.int64)
+    first_use[stream[::-1]] = positions
+    order = np.argsort(first_use, kind="stable")  # old indices by first use
+    perm = np.empty(matrix.k, dtype=np.int32)
+    perm[order] = np.arange(matrix.k, dtype=np.int32)
+    return perm
+
+
+def sort_indices(
+    matrix: LpnMatrix,
+    window_rows: int = DEFAULT_WINDOW_ROWS,
+    column_swap: bool = True,
+) -> SortedLayout:
+    """Build the sorted Colidx/Rowidx streams (Fig 11(c)).
+
+    Args:
+        matrix: the public LPN matrix.
+        window_rows: rows per look-ahead window; within each window the
+            accesses are ordered by (relabeled) column, clustering
+            repeated and adjacent columns.
+        column_swap: apply the first-use column relabeling first.
+    """
+    if window_rows < 1:
+        raise ParameterError("window_rows must be >= 1")
+    if column_swap:
+        perm = column_first_use_permutation(matrix)
+        work = matrix.permuted_columns(perm)
+    else:
+        perm = np.arange(matrix.k, dtype=np.int32)
+        work = matrix
+    n, d = work.n, work.d
+    cols = work.indices.reshape(-1).astype(np.int32, copy=True)
+    rows = np.repeat(np.arange(n, dtype=np.int32), d)
+    window = window_rows * d
+    for start in range(0, cols.shape[0], window):
+        stop = min(start + window, cols.shape[0])
+        order = np.argsort(cols[start:stop], kind="stable")
+        cols[start:stop] = cols[start:stop][order]
+        rows[start:stop] = rows[start:stop][order]
+    return SortedLayout(cols=cols, rows=rows, perm=perm, window_rows=window_rows)
+
+
+def baseline_layout(matrix: LpnMatrix) -> SortedLayout:
+    """The unsorted row-major stream (Fig 11(a)), for ablations."""
+    n, d = matrix.n, matrix.d
+    return SortedLayout(
+        cols=matrix.access_stream().astype(np.int32, copy=True),
+        rows=np.repeat(np.arange(n, dtype=np.int32), d),
+        perm=np.arange(matrix.k, dtype=np.int32),
+        window_rows=1,
+    )

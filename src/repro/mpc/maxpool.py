@@ -1,0 +1,50 @@
+"""Secure maximum on additive shares (the MaxPool building block).
+
+``max(a, b) = b + ReLU(a - b)``: the difference of shares is local,
+so one secure maximum costs exactly one DReLU + one multiplexer --
+which is how the framework cost tables charge MaxPool comparisons
+(one "maxpool_cmp" per window element beyond the first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.mpc.relu import relu_pair
+from repro.mpc.sharing import ArithmeticShares, ring_mask
+from repro.mpc.triples import BitTriples
+from repro.ot.channel import Channel
+from repro.ot.cot import CotPool
+
+
+def max_pair(
+    channel: Channel,
+    a: ArithmeticShares,
+    b: ArithmeticShares,
+    cmp_pool: CotPool,
+    send_pool: CotPool,
+    recv_pool: CotPool,
+    triples: BitTriples,
+    rng,
+    party: int,
+) -> ArithmeticShares:
+    """Shares of elementwise max(a, b); call from both parties.
+
+    Consumes one comparison's worth of COTs/triples plus one mux --
+    exactly the per-element cost MaxPool layers are priced at.
+    """
+    if a.bits != b.bits or len(a) != len(b):
+        raise ParameterError("max_pair needs aligned share vectors")
+    mask = np.uint64(ring_mask(a.bits))
+    diff = ArithmeticShares(
+        ((a.values.astype(np.uint64) - b.values.astype(np.uint64)) & mask).astype(
+            a.values.dtype
+        ),
+        a.bits,
+    )
+    relu_diff, _ = relu_pair(
+        channel, diff, cmp_pool, send_pool, recv_pool, triples, rng, party
+    )
+    out = (b.values.astype(np.uint64) + relu_diff.values.astype(np.uint64)) & mask
+    return ArithmeticShares(out.astype(a.values.dtype), a.bits)

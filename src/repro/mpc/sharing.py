@@ -1,0 +1,107 @@
+"""Secret sharing over Z_{2^l} and GF(2).
+
+Two flavours, matching what hybrid HE/MPC frameworks juggle:
+
+* **arithmetic** (additive) shares over the ring Z_{2^l}: values used
+  by linear layers; ``x = (x0 + x1) mod 2^l``;
+* **boolean** (XOR) shares of bits: outputs of comparisons;
+  ``b = b0 XOR b1``.
+
+Shares are numpy vectors so the protocol layer stays batched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Default ring width (bits) used by the nonlinear protocols.
+DEFAULT_BITS = 32
+
+
+def _ring_dtype(bits: int):
+    if bits <= 32:
+        return np.uint32
+    if bits <= 64:
+        return np.uint64
+    raise ParameterError("ring width must be <= 64 bits")
+
+
+def ring_mask(bits: int) -> int:
+    return (1 << bits) - 1
+
+
+@dataclass
+class ArithmeticShares:
+    """One party's additive shares of a value vector."""
+
+    values: np.ndarray
+    bits: int = DEFAULT_BITS
+
+    def __post_init__(self):
+        self.values = np.asarray(self.values, dtype=_ring_dtype(self.bits))
+
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+
+@dataclass
+class BooleanShares:
+    """One party's XOR shares of a bit vector."""
+
+    bits_vec: np.ndarray
+
+    def __post_init__(self):
+        self.bits_vec = np.asarray(self.bits_vec, dtype=np.uint8) & 1
+
+    def __len__(self) -> int:
+        return self.bits_vec.shape[0]
+
+
+def share_arith(values: np.ndarray, rng: np.random.Generator, bits: int = DEFAULT_BITS) -> tuple:
+    """Split plaintext values into two additive shares."""
+    dtype = _ring_dtype(bits)
+    values = np.asarray(values, dtype=np.uint64) & np.uint64(ring_mask(bits))
+    share0 = rng.integers(0, 1 << bits, values.shape[0], dtype=np.uint64)
+    share1 = (values - share0) & np.uint64(ring_mask(bits))
+    return (
+        ArithmeticShares(share0.astype(dtype), bits),
+        ArithmeticShares(share1.astype(dtype), bits),
+    )
+
+
+def reconstruct_arith(a: ArithmeticShares, b: ArithmeticShares) -> np.ndarray:
+    """Recombine additive shares into plaintext (mod 2^bits)."""
+    if a.bits != b.bits or len(a) != len(b):
+        raise ParameterError("mismatched arithmetic shares")
+    mask = np.uint64(ring_mask(a.bits))
+    return (a.values.astype(np.uint64) + b.values.astype(np.uint64)) & mask
+
+
+def share_bool(bits_vec: np.ndarray, rng: np.random.Generator) -> tuple:
+    """Split plaintext bits into two XOR shares."""
+    bits_vec = np.asarray(bits_vec, dtype=np.uint8) & 1
+    share0 = rng.integers(0, 2, bits_vec.shape[0]).astype(np.uint8)
+    return BooleanShares(share0), BooleanShares(share0 ^ bits_vec)
+
+
+def reconstruct_bool(a: BooleanShares, b: BooleanShares) -> np.ndarray:
+    """Recombine XOR shares into plaintext bits."""
+    if len(a) != len(b):
+        raise ParameterError("mismatched boolean shares")
+    return a.bits_vec ^ b.bits_vec
+
+
+def to_signed(values: np.ndarray, bits: int = DEFAULT_BITS) -> np.ndarray:
+    """Interpret ring elements as two's-complement signed integers."""
+    values = np.asarray(values, dtype=np.int64)
+    half = 1 << (bits - 1)
+    return np.where(values >= half, values - (1 << bits), values)
+
+
+def from_signed(values: np.ndarray, bits: int = DEFAULT_BITS) -> np.ndarray:
+    """Embed signed integers into the ring Z_{2^bits}."""
+    return np.asarray(values, dtype=np.int64) & ring_mask(bits)

@@ -1,0 +1,138 @@
+"""Beaver bit triples from OT correlations.
+
+A bit triple gives the parties XOR shares of bits (a, b, c) with
+``c = a AND b``; one triple evaluates one AND gate on shared bits
+(GMW).  Each triple needs the two cross products ``a0*b1`` and
+``a1*b0`` -- one chosen-message OT in each direction, which is exactly
+the role-switching workload Ironman's unified architecture serves
+(Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto import blocks
+from repro.errors import ParameterError
+from repro.ot.channel import Channel
+from repro.ot.cot import CotPool
+from repro.ot.ot_from_cot import ot_receive_from_cot, ot_send_from_cot
+
+
+@dataclass
+class BitTriples:
+    """One party's shares of n bit triples (a, b, c = a AND b)."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+
+    def __post_init__(self):
+        self.a = np.asarray(self.a, dtype=np.uint8) & 1
+        self.b = np.asarray(self.b, dtype=np.uint8) & 1
+        self.c = np.asarray(self.c, dtype=np.uint8) & 1
+        if not (self.a.shape == self.b.shape == self.c.shape):
+            raise ParameterError("triple component lengths disagree")
+
+    def __len__(self) -> int:
+        return self.a.shape[0]
+
+    def take(self, n: int) -> "BitTriples":
+        """Split off the first n triples (consuming them)."""
+        if n > len(self):
+            raise ParameterError(f"only {len(self)} triples left, need {n}")
+        head = BitTriples(self.a[:n], self.b[:n], self.c[:n])
+        self.a, self.b, self.c = self.a[n:], self.b[n:], self.c[n:]
+        return head
+
+
+def _bits_to_blocks(bits_vec: np.ndarray) -> np.ndarray:
+    out = blocks.zeros(bits_vec.shape[0])
+    out[:, 0] = bits_vec.astype(np.uint64)
+    return out
+
+
+def _cross_product_sender(channel, pool: CotPool, my_bits, rng, tweak) -> np.ndarray:
+    """OT-sender half of a cross term: returns share r of my_bits * theirs."""
+    n = my_bits.shape[0]
+    r = rng.integers(0, 2, n).astype(np.uint8)
+    m0 = _bits_to_blocks(r)
+    m1 = _bits_to_blocks(r ^ my_bits)
+    ot_send_from_cot(channel, pool.take_sender(n), m0, m1, tweak_base=tweak)
+    return r
+
+
+def _cross_product_receiver(channel, pool: CotPool, my_bits, tweak) -> np.ndarray:
+    """OT-receiver half: returns share (r XOR a*b) of the cross term."""
+    got = ot_receive_from_cot(channel, pool.take_receiver(my_bits.shape[0]), my_bits, tweak_base=tweak)
+    return (got[:, 0] & np.uint64(1)).astype(np.uint8)
+
+
+def generate_bit_triples(
+    channel: Channel,
+    n: int,
+    send_pool: CotPool,
+    recv_pool: CotPool,
+    rng: np.random.Generator,
+    party: int,
+    tweak_base: int = 0,
+) -> BitTriples:
+    """Generate n bit triples; both parties call this symmetrically.
+
+    Args:
+        send_pool: COT pool in which this party is the *sender* (used
+            for the cross term where it offers messages).
+        recv_pool: COT pool in which this party is the *receiver*.
+        party: 0 or 1; fixes the order of the two OT directions so the
+            parties stay in lockstep.
+    """
+    a = rng.integers(0, 2, n).astype(np.uint8)
+    b = rng.integers(0, 2, n).astype(np.uint8)
+    if party == 0:
+        # direction 1: P0 sends a0, P1 selects with b1.
+        r_mine = _cross_product_sender(channel, send_pool, a, rng, tweak_base)
+        # direction 2: P1 sends a1, P0 selects with b0.
+        t_mine = _cross_product_receiver(channel, recv_pool, b, tweak_base + n)
+    elif party == 1:
+        t_mine = _cross_product_receiver(channel, recv_pool, b, tweak_base)
+        r_mine = _cross_product_sender(channel, send_pool, a, rng, tweak_base + n)
+    else:
+        raise ParameterError("party must be 0 or 1")
+    # c_i = a_i*b_i (local) XOR own shares of both cross terms.
+    c = (a & b) ^ r_mine ^ t_mine
+    return BitTriples(a, b, c)
+
+
+def and_shared(
+    channel: Channel,
+    triples: BitTriples,
+    x: np.ndarray,
+    y: np.ndarray,
+    party: int,
+) -> np.ndarray:
+    """GMW AND on shared bit vectors using pre-generated triples.
+
+    Both parties call this with their shares; openings of d = x XOR a
+    and e = y XOR b cross the channel; returns this party's share of
+    ``x AND y``.
+    """
+    x = np.asarray(x, dtype=np.uint8) & 1
+    y = np.asarray(y, dtype=np.uint8) & 1
+    n = x.shape[0]
+    batch = triples.take(n)
+    d_share = x ^ batch.a
+    e_share = y ^ batch.b
+    if party == 0:
+        channel.send_bits(np.concatenate([d_share, e_share]))
+        theirs = channel.recv_bits()
+    else:
+        theirs = channel.recv_bits()
+        channel.send_bits(np.concatenate([d_share, e_share]))
+    d = d_share ^ theirs[:n]
+    e = e_share ^ theirs[n:]
+    share = batch.c ^ (d & batch.b) ^ (e & batch.a)
+    if party == 0:
+        share ^= d & e
+    return share

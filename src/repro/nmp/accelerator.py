@@ -1,0 +1,101 @@
+"""The assembled Ironman accelerator: end-to-end OTE timing (Section 5).
+
+Per OTE execution the DIMM modules run SPCOT while the rank modules
+run LPN; the two phases are decoupled and overlap (Section 5.1), so an
+execution costs the max of the two plus the (streamed, hence
+negligible) offload of finished correlations back to the host
+(Section 5.1.3 prices 500 MB of COTs at 8.1 ms un-overlapped and
+argues overlap hides it; we model exactly that).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.lpn.params import LPN_LOCALITY, LpnParams
+from repro.nmp.config import NmpConfig
+from repro.nmp.dimm import DimmSpcotResult, spcot_execution
+from repro.nmp.rank import RankLpnResult, lpn_execution_seconds
+from repro.nmp.unified import Role
+
+#: DDR4 channel bandwidth the paper uses to price offload (76.8 GB/s).
+OFFLOAD_BANDWIDTH_BYTES_S = 76.8e9
+
+#: Host<->NMP synchronization overhead per execution (instruction
+#: dispatch + drain), charged un-overlapped.
+SYNC_SECONDS = 20e-6
+
+
+@dataclass(frozen=True)
+class OteExecutionTime:
+    """Latency breakdown of one OTE execution on Ironman."""
+
+    spcot_seconds: float
+    lpn_seconds: float
+    offload_seconds: float
+    offload_exposed_seconds: float
+    total_seconds: float
+    spcot: DimmSpcotResult
+    lpn_rank: RankLpnResult
+
+    @property
+    def bottleneck(self) -> str:
+        return "lpn" if self.lpn_seconds >= self.spcot_seconds else "spcot"
+
+
+class IronmanAccelerator:
+    """Timing front-end over the DIMM/rank models."""
+
+    def __init__(self, config: NmpConfig):
+        self.config = config
+
+    def execution_time(
+        self,
+        params: LpnParams,
+        arity: int = 4,
+        prg_kind: str = "chacha8",
+        sorting: str = "full",
+        role: Role = Role.SENDER,
+        schedule: str = "hybrid",
+    ) -> OteExecutionTime:
+        """Price one OTE execution (one SPCOT batch + one LPN encode)."""
+        spcot = spcot_execution(
+            self.config, params, arity=arity, prg_kind=prg_kind, role=role,
+            schedule=schedule,
+        )
+        spcot_s = spcot.seconds(self.config.freq_hz)
+        lpn_s, rank = lpn_execution_seconds(
+            self.config, params.n, params.k, sorting=sorting
+        )
+        offload_s = params.n * 16 / OFFLOAD_BANDWIDTH_BYTES_S
+        overlapped = max(spcot_s, lpn_s)
+        # Correlations stream back as they finish; only the tail of the
+        # offload that outlives the compute is exposed.
+        exposed = max(0.0, offload_s - overlapped)
+        total = overlapped + exposed + SYNC_SECONDS
+        return OteExecutionTime(
+            spcot_seconds=spcot_s,
+            lpn_seconds=lpn_s,
+            offload_seconds=offload_s,
+            offload_exposed_seconds=exposed,
+            total_seconds=total,
+            spcot=spcot,
+            lpn_rank=rank,
+        )
+
+    def latency_for(self, params: LpnParams, total_ots: int, **kwargs) -> float:
+        """Seconds to output ``total_ots`` correlations (init excluded)."""
+        if total_ots <= 0:
+            raise ParameterError("total_ots must be positive")
+        per_exec = self.execution_time(params, **kwargs).total_seconds
+        return params.executions_for(total_ots) * per_exec
+
+    def throughput_ots(self, params: LpnParams, **kwargs) -> float:
+        """Steady-state COTs per second."""
+        per_exec = self.execution_time(params, **kwargs).total_seconds
+        return params.usable_output / per_exec
+
+    def accesses_per_rank(self, params: LpnParams) -> int:
+        """LPN accesses each active rank performs per execution."""
+        return -(-params.n * LPN_LOCALITY // self.config.n_ranks)

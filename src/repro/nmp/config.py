@@ -1,0 +1,122 @@
+"""Ironman-NMP hardware configuration (Figure 9, Table 3).
+
+The accelerator sits on DIMM buffer chips: each DIMM hosts one
+Ironman-NMP PU = one DIMM-NMP module (ChaCha8 core(s) + unified XOR
+tree, running SPCOT) and one Rank-NMP module per rank (index address
+generator + memory-side cache + XOR accumulators, running LPN).
+
+Figure 12's "2/4/8/16 ranks" sweep varies the number of populated
+DIMMs at 2 ranks per DIMM; the memory-side cache is 256 KB or 1 MB per
+rank module.
+
+The rank module's SRAM is split between the line cache and the XorSum
+look-ahead buffer: the look-ahead window (rows in flight) is what the
+index-sorting algorithm is matched against, so cache capacity shapes
+*both* temporal reuse and how much spatial clustering the offline sort
+can exploit -- the mechanism behind Figure 14's capacity sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.sim.cache import CacheConfig
+from repro.sim.dram import DramGeometry, DramTiming
+from repro.utils.units import KIB
+
+
+@dataclass(frozen=True)
+class NmpConfig:
+    """One Ironman deployment."""
+
+    n_dimms: int = 8  # populated DIMMs (4 channels x 2)
+    ranks_per_dimm: int = 2
+    cache_bytes: int = 256 * KIB  # memory-side cache per rank module
+    cache_ways: int = 8
+    line_bytes: int = 64
+    chacha_cores_per_dimm: int = 1
+    freq_hz: float = 1.2e9  # NMP logic clock = DDR4-2400 memory clock
+    #: fraction of the rank SRAM holding in-flight XorSum accumulators
+    #: (the rest is the line cache); sets the row look-ahead window.
+    lookahead_sram_fraction: float = 0.25
+    #: outstanding DRAM misses the rank pipeline sustains (the index
+    #: stream runs ahead of the data accesses, so a miss can overlap
+    #: the next one's row activation).
+    miss_mlp: int = 2
+    #: distribute SPCOT trees across DIMM modules (vs a single DIMM).
+    spcot_all_dimms: bool = True
+    timing: DramTiming = field(default_factory=DramTiming)
+    geometry: DramGeometry = field(default_factory=DramGeometry)
+
+    def __post_init__(self):
+        if self.n_dimms < 1 or self.ranks_per_dimm < 1:
+            raise ParameterError("need at least one DIMM and one rank")
+        if not 0.0 < self.lookahead_sram_fraction < 1.0:
+            raise ParameterError("lookahead_sram_fraction must be in (0, 1)")
+
+    @property
+    def n_ranks(self) -> int:
+        """Active Rank-NMP modules (the x-axis of Figures 12/13)."""
+        return self.n_dimms * self.ranks_per_dimm
+
+    @property
+    def lookahead_rows(self) -> int:
+        """Row look-ahead window: XorSum accumulators that fit on-chip."""
+        return max(64, int(self.cache_bytes * self.lookahead_sram_fraction) // 16)
+
+    @property
+    def line_cache_bytes(self) -> int:
+        """SRAM left for the line cache after the XorSum buffer."""
+        raw = int(self.cache_bytes * (1.0 - self.lookahead_sram_fraction))
+        # Round down to a valid set-associative geometry.
+        granule = self.line_bytes * self.cache_ways
+        return max(granule, (raw // granule) * granule)
+
+    def cache_config(self) -> CacheConfig:
+        return CacheConfig(
+            size_bytes=self.line_cache_bytes,
+            line_bytes=self.line_bytes,
+            ways=self.cache_ways,
+        )
+
+    def with_ranks(self, n_ranks: int) -> "NmpConfig":
+        """Derive a config with the given active rank count."""
+        if n_ranks % self.ranks_per_dimm != 0:
+            raise ParameterError("rank count must be a multiple of ranks/DIMM")
+        return NmpConfig(
+            n_dimms=n_ranks // self.ranks_per_dimm,
+            ranks_per_dimm=self.ranks_per_dimm,
+            cache_bytes=self.cache_bytes,
+            cache_ways=self.cache_ways,
+            line_bytes=self.line_bytes,
+            chacha_cores_per_dimm=self.chacha_cores_per_dimm,
+            freq_hz=self.freq_hz,
+            lookahead_sram_fraction=self.lookahead_sram_fraction,
+            miss_mlp=self.miss_mlp,
+            spcot_all_dimms=self.spcot_all_dimms,
+            timing=self.timing,
+            geometry=self.geometry,
+        )
+
+    def with_cache(self, cache_bytes: int) -> "NmpConfig":
+        """Derive a config with the given memory-side cache size."""
+        return NmpConfig(
+            n_dimms=self.n_dimms,
+            ranks_per_dimm=self.ranks_per_dimm,
+            cache_bytes=cache_bytes,
+            cache_ways=self.cache_ways,
+            line_bytes=self.line_bytes,
+            chacha_cores_per_dimm=self.chacha_cores_per_dimm,
+            freq_hz=self.freq_hz,
+            lookahead_sram_fraction=self.lookahead_sram_fraction,
+            miss_mlp=self.miss_mlp,
+            spcot_all_dimms=self.spcot_all_dimms,
+            timing=self.timing,
+            geometry=self.geometry,
+        )
+
+
+#: The paper's two headline configurations (Section 6.1).
+IRONMAN_256KB = NmpConfig(cache_bytes=256 * KIB)
+IRONMAN_1MB = NmpConfig(cache_bytes=1024 * KIB)

@@ -1,0 +1,79 @@
+"""DIMM-NMP module: SPCOT execution timing (Figure 9(b)).
+
+The DIMM module hosts the ChaCha8 (or AES) cores and the unified XOR
+tree.  SPCOT's t GGM trees are independent, so the hybrid expansion
+schedule (Section 4.3) keeps the PRG pipeline full; the unified unit
+reduces each level into slot sums concurrently with the next level's
+expansion, so DIMM occupancy is the max of the two engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.lpn.params import LpnParams
+from repro.nmp.config import NmpConfig
+from repro.nmp.unified import Role, UnifiedUnitModel
+from repro.sim.pipeline import ScheduleResult, expansion_schedule
+
+
+@dataclass(frozen=True)
+class DimmSpcotResult:
+    """Timing of one OTE execution's SPCOT phase on the DIMM modules."""
+
+    prg_cycles: int
+    xor_tree_cycles: int
+    cycles: int
+    total_prg_ops: int
+    utilization: float
+    trees_per_dimm: int
+
+    def seconds(self, freq_hz: float) -> float:
+        return self.cycles / freq_hz
+
+
+def spcot_execution(
+    config: NmpConfig,
+    params: LpnParams,
+    arity: int = 4,
+    prg_kind: str = "chacha8",
+    role: Role = Role.SENDER,
+    schedule: str = "hybrid",
+) -> DimmSpcotResult:
+    """Price one execution's t-tree expansion under ``config``.
+
+    Trees are distributed across DIMM modules when
+    ``config.spcot_all_dimms`` is set (they are independent); otherwise
+    a single DIMM runs them all -- the ablation knob behind Figure 13.
+    """
+    if params.t < 1:
+        raise ParameterError("parameter set needs at least one tree")
+    # Table 4 pins the per-tree leaf budget l; the depth in m-ary digits
+    # is ceil(log_m(l)) and the tree is ragged when l is not a power of m.
+    leaves = params.ell
+    depth = 0
+    while arity**depth < leaves:
+        depth += 1
+    depth = max(depth, 1)
+    n_dimms = config.n_dimms if config.spcot_all_dimms else 1
+    trees_per_dimm = -(-params.t // n_dimms)
+    prg: ScheduleResult = expansion_schedule(
+        n_trees=trees_per_dimm,
+        depth=depth,
+        arity=arity,
+        prg_kind=prg_kind,
+        n_cores=config.chacha_cores_per_dimm,
+        schedule=schedule,
+        n_leaves=leaves,
+    )
+    uu = UnifiedUnitModel(lanes=2 * config.chacha_cores_per_dimm * 4)
+    xor_cycles = trees_per_dimm * uu.tree_cycles(depth, arity, role)
+    return DimmSpcotResult(
+        prg_cycles=prg.cycles,
+        xor_tree_cycles=xor_cycles,
+        cycles=max(prg.cycles, xor_cycles),
+        total_prg_ops=prg.total_ops * n_dimms,
+        utilization=prg.utilization,
+        trees_per_dimm=trees_per_dimm,
+    )

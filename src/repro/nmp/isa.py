@@ -1,0 +1,67 @@
+"""NMP instruction encoding (the NMP-Inst of Figure 9).
+
+The host memory controller drives the accelerator with compact
+instructions; the DIMM module dispatches them to rank modules by rank
+id.  The ISA is tiny by design -- LPN needs only "accumulate these
+streamed indices into these rows" plus configuration plumbing, and
+SPCOT needs a tree descriptor.  We encode to/from a fixed 16-byte wire
+format so tests can pin the codec.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+_WIRE = struct.Struct("<BBHIII")  # opcode, rank, flags, addr, count, tag
+WIRE_BYTES = _WIRE.size
+
+
+class Opcode(enum.IntEnum):
+    """Operation selector."""
+
+    NOP = 0
+    LPN_ACCUM = 1  # stream Colidx/Rowidx at addr, XOR-accumulate `count` accesses
+    SPCOT_EXPAND = 2  # expand `count` GGM trees, descriptor at addr
+    BCAST_VECTOR = 3  # broadcast the r/s/e vectors to rank-local DRAM
+    READ_COT = 4  # drain `count` finished correlations back to the host
+    SET_ROLE = 5  # 0 = sender (key generator), 1 = receiver (decoder)
+
+
+@dataclass(frozen=True)
+class NmpInst:
+    """One decoded NMP instruction."""
+
+    opcode: Opcode
+    rank: int
+    addr: int
+    count: int
+    tag: int = 0
+    flags: int = 0
+
+    def encode(self) -> bytes:
+        """Pack to the 16-byte wire format."""
+        if not 0 <= self.rank < 256:
+            raise ParameterError("rank id must fit one byte")
+        return _WIRE.pack(
+            int(self.opcode), self.rank, self.flags, self.addr, self.count, self.tag
+        )
+
+    @staticmethod
+    def decode(data: bytes) -> "NmpInst":
+        """Unpack the 16-byte wire format."""
+        if len(data) != WIRE_BYTES:
+            raise ParameterError(f"NMP instruction must be {WIRE_BYTES} bytes")
+        opcode, rank, flags, addr, count, tag = _WIRE.unpack(data)
+        return NmpInst(Opcode(opcode), rank, addr, count, tag, flags)
+
+
+def lpn_program(n_ranks: int, accesses_per_rank: int, base_addr: int = 0) -> list:
+    """Emit the per-rank LPN accumulate program for one execution."""
+    return [
+        NmpInst(Opcode.LPN_ACCUM, rank, base_addr + rank * accesses_per_rank * 4, accesses_per_rank)
+        for rank in range(n_ranks)
+    ]

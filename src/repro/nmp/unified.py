@@ -1,0 +1,100 @@
+"""The Unified Unit (Section 5.2, Figure 10).
+
+One XOR tree serves both protocol roles:
+
+* **Key Generator** (sender): per GGM level, XOR-reduce the even and
+  the odd nodes -- two tree passes -- producing ``K_0^i, K_1^i`` (or m
+  slot sums for m-ary levels).
+* **Message Decoder** (receiver): one pass computes the single slot
+  sum needed to recover the missing sibling, which is written back to
+  the Node Buffer.
+
+The functional behaviour is delegated to :func:`repro.spcot.ggm.level_sums`
+(it *is* an XOR reduction); this module adds the hardware facts the
+benchmarks need: cycle occupancy per level and Node Buffer sizing,
+which differ between roles exactly as Figure 10(b)/(c) shows.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.spcot.ggm import level_sums
+
+
+class Role(enum.Enum):
+    """Which side of the OTE protocol the host is playing."""
+
+    SENDER = "sender"  # key generator mode
+    RECEIVER = "receiver"  # message decoder mode
+
+
+@dataclass
+class UnifiedUnitModel:
+    """Timing/occupancy model of one 2x-input XOR tree.
+
+    Args:
+        lanes: blocks consumed per cycle (= 2 * ChaCha cores: each core
+            feeds 512 bits = 4 blocks per call, the tree is sized to
+            drain them; Figure 10(a)).
+    """
+
+    lanes: int = 8
+
+    def __post_init__(self):
+        if self.lanes < 2:
+            raise ParameterError("the XOR tree needs at least two lanes")
+
+    def passes(self, role: Role) -> int:
+        """Tree passes per level: sender sums even AND odd nodes."""
+        return 2 if role is Role.SENDER else 1
+
+    def level_cycles(self, level_nodes: int, role: Role) -> int:
+        """Cycles to reduce one level of ``level_nodes`` blocks."""
+        per_pass = -(-level_nodes // self.lanes)
+        return self.passes(role) * per_pass
+
+    def tree_cycles(self, depth: int, arity: int, role: Role) -> int:
+        """Cycles to produce all level sums of one GGM tree."""
+        return sum(
+            self.level_cycles(arity**level, role) for level in range(1, depth + 1)
+        )
+
+    def node_buffer_blocks(self, depth: int, arity: int, role: Role) -> int:
+        """Node Buffer footprint (Figure 10(b)/(c)).
+
+        Both roles buffer the current level's nodes; the sender keeps
+        both slot-sum sets (keys) per level, the receiver only the one
+        it selected.
+        """
+        nodes = arity**depth
+        keys_per_level = arity if role is Role.SENDER else arity - 1
+        return nodes + keys_per_level * depth
+
+
+class UnifiedUnit:
+    """Functional unified unit: a mode-switchable XOR reducer."""
+
+    def __init__(self, role: Role, model: UnifiedUnitModel = UnifiedUnitModel()):
+        self.role = role
+        self.model = model
+        self.cycles_used = 0
+
+    def switch_role(self, role: Role) -> None:
+        """Role switching costs nothing but a mode bit (Section 5.2)."""
+        self.role = role
+
+    def reduce_level(self, nodes: np.ndarray, arity: int) -> np.ndarray:
+        """Compute slot sums of one level, charging cycle occupancy.
+
+        Sender mode returns all ``arity`` sums; receiver mode is handed
+        the nodes it knows and returns the same reduction (the caller
+        selects the slot), but is charged only one pass.
+        """
+        sums = level_sums(nodes, arity)
+        self.cycles_used += self.model.level_cycles(nodes.shape[0], self.role)
+        return sums

@@ -1,0 +1,113 @@
+"""OT-based secure matrix multiplication with role switching (Fig 16).
+
+PrivQuant-style quantized MatMul evaluates ``(m x k) @ (k x n)`` with
+COT-based multiplication: each secret operand bit sources a batch of
+correlations, and the direction (who plays OT sender) decides whether
+communication scales with the activation or the weight operand.
+
+Without a unified architecture, a party whose accelerator only
+implements one role must run *both* directions from its fixed role,
+paying both operands' traffic.  Ironman's unified unit lets each party
+take the cheaper sending direction for its half of the product, which
+halves communication (the paper measures 2x comm and 1.4x latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.ppml.inference import OteProvider
+from repro.ppml.network import NetworkModel
+
+#: Default operand bit-width (quantized inference).
+DEFAULT_BITS = 8
+
+#: Online bytes shipped per COT-backed multiplication term.
+BYTES_PER_COT = 17  # one masked 128-bit block + correction bit
+
+
+@dataclass(frozen=True)
+class MatmulDims:
+    """(input, hidden, output) dimensions as labelled in Figure 16."""
+
+    m: int
+    k: int
+    n: int
+
+    def __post_init__(self):
+        if min(self.m, self.k, self.n) < 1:
+            raise ParameterError("matmul dimensions must be positive")
+
+    @property
+    def label(self) -> str:
+        return f"({self.m},{self.k},{self.n})"
+
+
+#: Figure 16 layer shapes (BERT-Base and LLaMA projections, seq 32).
+FIG16_DIMS = (
+    MatmulDims(64, 768, 768),
+    MatmulDims(64, 768, 64),
+    MatmulDims(64, 4096, 64),
+)
+
+
+def matmul_cots(dims: MatmulDims, bits: int = DEFAULT_BITS) -> float:
+    """COT correlations one secure MatMul consumes.
+
+    The product of secret shares decomposes into two cross terms; the
+    one sourced from the activation side scales with ``m*k`` elements,
+    the weight side with ``k*n``, ``bits`` correlations per element.
+    The demand is role-independent -- what role switching changes is
+    which party *transmits* for each term.
+    """
+    return (dims.m * dims.k + dims.k * dims.n) * bits
+
+
+def matmul_comm_bytes(dims: MatmulDims, bits: int = DEFAULT_BITS, unified: bool = True) -> float:
+    """Online communication of one secure MatMul.
+
+    With the unified architecture each cross term is sent by the party
+    for whom it is sender-side (one transmission per term).  A
+    fixed-role accelerator must re-run the reverse-direction term
+    through its only supported role, transmitting both operand
+    encodings twice -- the 2x communication the paper measures.
+    """
+    factor = 1.0 if unified else 2.0
+    return matmul_cots(dims, bits) * BYTES_PER_COT * factor
+
+
+@dataclass(frozen=True)
+class MatmulCost:
+    """Latency/communication of one secure MatMul configuration."""
+
+    dims: MatmulDims
+    unified: bool
+    cots: float
+    comm_bytes: float
+    ot_seconds: float
+    comm_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.ot_seconds + self.comm_seconds
+
+
+def matmul_cost(
+    dims: MatmulDims,
+    provider: OteProvider,
+    network: NetworkModel,
+    bits: int = DEFAULT_BITS,
+    unified: bool = True,
+) -> MatmulCost:
+    """Price one secure MatMul under a provider/network pair."""
+    cots = matmul_cots(dims, bits)
+    comm = matmul_comm_bytes(dims, bits, unified)
+    return MatmulCost(
+        dims=dims,
+        unified=unified,
+        cots=cots,
+        comm_bytes=comm,
+        ot_seconds=provider.seconds_for(cots),
+        comm_seconds=network.transfer_seconds(comm),
+    )

@@ -1,0 +1,46 @@
+"""Network settings for two-party protocols (Section 6.5).
+
+The paper evaluates two cloud configurations, following Cheetah:
+a LAN-like link (3 Gbps, 0.15 ms RTT) and a WAN-like link
+(400 Mbps, 20 ms RTT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """A symmetric link between the two parties."""
+
+    name: str
+    bandwidth_bits_s: float
+    rtt_s: float
+
+    def __post_init__(self):
+        if self.bandwidth_bits_s <= 0 or self.rtt_s < 0:
+            raise ParameterError("bandwidth must be positive and RTT non-negative")
+
+    @property
+    def bytes_per_s(self) -> float:
+        return self.bandwidth_bits_s / 8.0
+
+    def transfer_seconds(self, n_bytes: float) -> float:
+        """Serialization time of a payload (no per-message latency)."""
+        return n_bytes / self.bytes_per_s
+
+    def round_seconds(self, n_rounds: float) -> float:
+        """Latency cost of ``n_rounds`` protocol round trips."""
+        return n_rounds * self.rtt_s
+
+    def interaction_seconds(self, n_bytes: float, n_rounds: float) -> float:
+        """Total interaction time: serialization plus round trips."""
+        return self.transfer_seconds(n_bytes) + self.round_seconds(n_rounds)
+
+
+#: The paper's two settings (Table 5 headers).
+LAN = NetworkModel("LAN (3Gbps, 0.15ms)", 3e9, 0.15e-3)
+WAN = NetworkModel("WAN (400Mbps, 20ms)", 400e6, 20e-3)

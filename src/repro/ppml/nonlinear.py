@@ -1,0 +1,146 @@
+"""Per-element OT costs of secure nonlinear protocols (Section 2.2).
+
+Each framework evaluates nonlinearities with OT-based building blocks:
+millionaires'/DReLU comparisons, B2A conversions, multiplexers,
+truncations, and lookup tables.  What the OTE substrate must supply
+is, per evaluated element, a number of COT correlations and (for the
+online phase) some communication and rounds.
+
+The per-element constants below are **calibrated**: we fix them so the
+CPU-baseline OT-preprocessing time reproduces the OT share of
+end-to-end latency the paper measures (Figure 1(a): 51-69% across
+frameworks/models, against the Table 5 LAN baselines).  They are in
+the right regime for the underlying protocols (e.g. a CrypTFlow2
+ReLU at bitwidth 32+ costs tens of COTs; Cheetah's silent-OT ReLU a
+handful; Bolt's GELU/Softmax need LUT + comparison cascades, hundreds
+per element).  EXPERIMENTS.md records residuals per model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.ppml.layers import NONLINEAR_KINDS
+
+
+@dataclass(frozen=True)
+class NonlinearCost:
+    """OT + online-phase cost of one evaluated element."""
+
+    cots: float  # COT correlations consumed in preprocessing
+    online_bytes: float  # online communication per element
+    online_rounds: float = 0.0  # amortized extra rounds per element
+
+
+@dataclass(frozen=True)
+class FrameworkProfile:
+    """One hybrid HE/MPC framework's cost table.
+
+    Attributes:
+        name: framework name as in the paper.
+        costs: per nonlinear kind, the per-element cost.
+        cots_per_mac: OT demand of the *linear* layers (OT-based
+            truncation after every multiplication, Beaver-style helper
+            triples); dominant for CrypTFlow2's SCI backend, small for
+            the HE-centric Cheetah/Bolt.
+        rounds_per_layer: online round trips per nonlinear layer.
+        he_macs_per_s: effective linear-layer throughput (HE side,
+            GPU-accelerated per Section 1's setup).
+    """
+
+    name: str
+    costs: dict
+    cots_per_mac: float
+    rounds_per_layer: float
+    he_macs_per_s: float
+
+    def __post_init__(self):
+        for kind in self.costs:
+            if kind not in NONLINEAR_KINDS:
+                raise ParameterError(f"unknown nonlinear kind {kind!r}")
+
+    def cost_of(self, kind: str) -> NonlinearCost:
+        if kind not in self.costs:
+            raise ParameterError(f"{self.name} has no cost entry for {kind!r}")
+        return self.costs[kind]
+
+    def cot_demand(self, nonlinear_counts: dict, macs: int = 0) -> float:
+        """Total COT correlations one inference consumes."""
+        nonlinear = sum(
+            count * self.cost_of(kind).cots
+            for kind, count in nonlinear_counts.items()
+            if count
+        )
+        return nonlinear + macs * self.cots_per_mac
+
+    def online_bytes(self, nonlinear_counts: dict) -> float:
+        return sum(
+            count * self.cost_of(kind).online_bytes
+            for kind, count in nonlinear_counts.items()
+            if count
+        )
+
+
+#: CrypTFlow2 (CCS'20): millionaires-based DReLU, OT-based faithful
+#: truncation on every linear-layer output; the least COT-efficient.
+CRYPTFLOW2 = FrameworkProfile(
+    name="CrypTFlow2",
+    costs={
+        "relu": NonlinearCost(cots=18, online_bytes=550),
+        "relu6": NonlinearCost(cots=10, online_bytes=500),
+        "maxpool_cmp": NonlinearCost(cots=6, online_bytes=275),
+        "avgpool": NonlinearCost(cots=8, online_bytes=200),
+    },
+    cots_per_mac=0.1,
+    rounds_per_layer=7,
+    he_macs_per_s=2.0e9,
+)
+
+#: Cheetah (USENIX Sec'22): silent-OT based comparisons, leaner
+#: truncation; several times cheaper per ReLU than CrypTFlow2.
+CHEETAH = FrameworkProfile(
+    name="Cheetah",
+    costs={
+        "relu": NonlinearCost(cots=6, online_bytes=180),
+        "relu6": NonlinearCost(cots=5, online_bytes=180),
+        "maxpool_cmp": NonlinearCost(cots=2, online_bytes=90),
+        "avgpool": NonlinearCost(cots=2, online_bytes=50),
+    },
+    cots_per_mac=0.01,
+    rounds_per_layer=5,
+    he_macs_per_s=6.0e9,
+)
+
+#: Bolt (S&P'24): transformer nonlinearities via LUT + comparison
+#: cascades (GELU), max/exp/reciprocal chains (Softmax), rsqrt
+#: (LayerNorm); tens to hundreds of COTs per element.
+BOLT = FrameworkProfile(
+    name="Bolt",
+    costs={
+        "gelu": NonlinearCost(cots=90, online_bytes=900),
+        "softmax": NonlinearCost(cots=180, online_bytes=1400),
+        "layernorm": NonlinearCost(cots=80, online_bytes=500),
+    },
+    cots_per_mac=0.03,
+    rounds_per_layer=12,
+    he_macs_per_s=8.0e9,
+)
+
+#: EzPC-SiRNN (S&P'21): math-library kernels for the Figure 15
+#: operator microbenchmarks (same cost regime as Bolt, different
+#: protocol stack).
+SIRNN = FrameworkProfile(
+    name="EzPC-SiRNN",
+    costs={
+        "relu": NonlinearCost(cots=45, online_bytes=600),
+        "gelu": NonlinearCost(cots=150, online_bytes=1500),
+        "softmax": NonlinearCost(cots=300, online_bytes=2500),
+        "layernorm": NonlinearCost(cots=130, online_bytes=1000),
+    },
+    cots_per_mac=0.05,
+    rounds_per_layer=10,
+    he_macs_per_s=2.0e9,
+)
+
+FRAMEWORKS = {p.name: p for p in (CRYPTFLOW2, CHEETAH, BOLT, SIRNN)}

@@ -1,0 +1,149 @@
+"""Area and power models (the Design Compiler / Cacti substitute).
+
+All constants are anchored to the paper's published numbers:
+
+* Table 2 -- PRG cores at 45 nm: AES-128 0.233 mm^2 / 35.05 mW /
+  128-bit out; ChaCha8 0.215 mm^2 / 45.34 mW / 512-bit out.
+* Table 6 -- Ironman-NMP totals: 1.482 mm^2 / 1.301 W with a 256 KB
+  memory-side cache, 2.995 mm^2 / 1.430 W with 1 MB (vs ~100 mm^2 /
+  ~10 W for a typical DRAM chip / LRDIMM).
+* Figure 14(b) -- SRAM area grows super-linearly; 2 MB costs 2.21x the
+  1 MB macro.
+
+The SRAM macro follows an ``area = coeff * size^gamma`` fit through
+those anchors; the exponents are documented inline so the model's
+provenance is auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.utils.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class CoreCosts:
+    """One hardware core's silicon cost (45 nm)."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+    output_bits: int
+
+    @property
+    def perf_per_area(self) -> float:
+        """Output bits per mm^2 (normalized by callers)."""
+        return self.output_bits / self.area_mm2
+
+    @property
+    def power_per_block(self) -> float:
+        """Watts per 128-bit block produced per call."""
+        return self.power_w / (self.output_bits / 128)
+
+
+#: Table 2 rows.
+AES_CORE = CoreCosts("AES-128", area_mm2=0.233, power_w=0.03505, output_bits=128)
+CHACHA8_CORE = CoreCosts("ChaCha8", area_mm2=0.215, power_w=0.04534, output_bits=512)
+
+
+def prg_comparison_rows() -> list:
+    """Reproduce Table 2: ratios normalized to AES."""
+    rows = []
+    for core in (AES_CORE, CHACHA8_CORE):
+        rows.append(
+            {
+                "prg": core.name,
+                "output_bits": core.output_bits,
+                "area_mm2": core.area_mm2,
+                "perf_per_area_ratio": core.perf_per_area / AES_CORE.perf_per_area,
+                "power_mw": core.power_w * 1e3,
+                "power_per_block_ratio": AES_CORE.power_per_block / core.power_per_block,
+            }
+        )
+    return rows
+
+
+# SRAM macro fit: gamma chosen so area(2MB)/area(1MB) = 2.21 (Fig 14b);
+# the coefficient then matches Table 6's totals given the logic area.
+_SRAM_AREA_GAMMA = 1.144
+_SRAM_AREA_AT_1MB_MM2 = 1.902
+#: Non-cache logic: ChaCha8 core + unified XOR tree + node/inst buffers
+#: + index address generators (backed out of Table 6: total - SRAM).
+_LOGIC_AREA_MM2 = 1.093
+
+_SRAM_POWER_GAMMA = 0.5
+_SRAM_POWER_AT_1MB_W = 0.258
+#: Logic + DRAM-interface power backed out of Table 6.
+_LOGIC_POWER_W = 1.172
+
+
+def sram_area_mm2(size_bytes: int) -> float:
+    """Memory-side cache macro area."""
+    if size_bytes <= 0:
+        raise ParameterError("SRAM size must be positive")
+    return _SRAM_AREA_AT_1MB_MM2 * (size_bytes / MIB) ** _SRAM_AREA_GAMMA
+
+
+def sram_power_w(size_bytes: int) -> float:
+    """Memory-side cache macro power."""
+    if size_bytes <= 0:
+        raise ParameterError("SRAM size must be positive")
+    return _SRAM_POWER_AT_1MB_W * (size_bytes / MIB) ** _SRAM_POWER_GAMMA
+
+
+@dataclass(frozen=True)
+class NmpOverhead:
+    """One Ironman-NMP PU's silicon budget (Table 6 row)."""
+
+    cache_bytes: int
+    area_mm2: float
+    power_w: float
+
+
+def nmp_overhead(cache_bytes: int) -> NmpOverhead:
+    """Area/power of one Ironman-NMP PU with the given cache size."""
+    return NmpOverhead(
+        cache_bytes=cache_bytes,
+        area_mm2=_LOGIC_AREA_MM2 + sram_area_mm2(cache_bytes),
+        power_w=_LOGIC_POWER_W + sram_power_w(cache_bytes),
+    )
+
+
+#: Reference envelope numbers quoted by Table 6 for context.
+TYPICAL_DRAM_CHIP_AREA_MM2 = 100.0
+TYPICAL_LRDIMM_POWER_W = 10.0
+
+#: Host-platform power envelopes used for the energy comparisons
+#: (Section 6.1: Ironman vs the A6000 GPU implementation).
+GPU_A6000_POWER_W = 300.0
+CPU_XEON_5220R_POWER_W = 150.0
+
+
+def table6_rows() -> list:
+    """Reproduce Table 6 for the two evaluated cache sizes."""
+    rows = [
+        {
+            "component": "ChaCha8 Core",
+            "area_mm2": CHACHA8_CORE.area_mm2,
+            "power_w": CHACHA8_CORE.power_w,
+        }
+    ]
+    for size in (256 * KIB, MIB):
+        ov = nmp_overhead(size)
+        rows.append(
+            {
+                "component": f"Ironman-NMP ({size // KIB}KB cache)",
+                "area_mm2": ov.area_mm2,
+                "power_w": ov.power_w,
+            }
+        )
+    rows.append(
+        {
+            "component": "Typical DRAM chip",
+            "area_mm2": TYPICAL_DRAM_CHIP_AREA_MM2,
+            "power_w": TYPICAL_LRDIMM_POWER_W,
+        }
+    )
+    return rows

@@ -1,0 +1,133 @@
+"""Pipelined PRG core + GGM expansion schedule model (Fig 8, Sec 4.3).
+
+The ChaCha8 core is an 8-stage pipeline (one double-round per stage):
+throughput one op/cycle when full, latency 8 cycles.  GGM expansion
+has a parent->child dependency, so the *schedule* decides utilization:
+
+* depth-first: every op waits for its parent -- one op per ``stages``
+  cycles (the "7 bubbles" of Figure 8(a)); O(m * depth) buffer.
+* breadth-first: a level's ops are independent, so the pipe fills, but
+  shallow levels still drain it and the leaf level needs an O(leaves)
+  buffer.
+* hybrid (Ironman): breadth-first within a level plus inter-tree
+  parallelism across the t independent SPCOT trees -- with t >= stages
+  the pipeline never starves (100% utilization).
+
+The model is cycle-parametric rather than event-driven: levels are
+synchronization points, which matches the hardware's level-by-level
+XOR-sum computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.prg import CHACHA_BLOCKS_PER_CALL
+from repro.errors import ParameterError
+
+#: ChaCha8 = 4 double rounds, one per stage, plus output add folded in.
+CHACHA8_STAGES = 8
+#: Fully unrolled AES-128 pipeline: one stage per round.
+AES_STAGES = 10
+
+SCHEDULES = ("depth_first", "breadth_first", "hybrid")
+
+
+def ops_per_node(arity: int, prg_kind: str) -> int:
+    """Core calls to expand one node into ``arity`` children."""
+    if prg_kind == "aes":
+        return arity
+    if prg_kind.startswith("chacha"):
+        return -(-arity // CHACHA_BLOCKS_PER_CALL)
+    raise ParameterError(f"unknown PRG kind {prg_kind!r}")
+
+
+def core_stages(prg_kind: str) -> int:
+    """Pipeline depth of the PRG core."""
+    return AES_STAGES if prg_kind == "aes" else CHACHA8_STAGES
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling the SPCOT tree batch on the PRG cores."""
+
+    cycles: int
+    total_ops: int
+    utilization: float
+    buffer_blocks: int  # peak on-chip node storage, in 128-bit blocks
+
+    def seconds(self, freq_hz: float) -> float:
+        return self.cycles / freq_hz
+
+
+def expansion_schedule(
+    n_trees: int,
+    depth: int,
+    arity: int,
+    prg_kind: str,
+    n_cores: int = 1,
+    schedule: str = "hybrid",
+    n_leaves: int = 0,
+) -> ScheduleResult:
+    """Cycle count to expand ``n_trees`` GGM trees of given depth.
+
+    Args:
+        n_trees: SPCOT instances expanded together (the parameter t).
+        depth: tree depth in arity-digits.
+        arity: expansion arity m.
+        prg_kind: "aes" or "chacha8" (sets ops/node and pipe depth).
+        n_cores: parallel fully-pipelined PRG cores in the DIMM module.
+        schedule: one of ``SCHEDULES``.
+        n_leaves: leaf count; defaults to a full ``arity ** depth`` tree.
+            Table 4's l values (e.g. 8192 with arity 4) describe ragged
+            trees whose level widths are ``ceil(l / m^(depth-i))``.
+    """
+    if schedule not in SCHEDULES:
+        raise ParameterError(f"schedule must be one of {SCHEDULES}")
+    if n_trees < 1 or depth < 1 or n_cores < 1:
+        raise ParameterError("n_trees, depth and n_cores must be positive")
+    if not n_leaves:
+        n_leaves = arity**depth
+    if n_leaves > arity**depth or n_leaves < 2:
+        raise ParameterError("n_leaves must be in [2, arity**depth]")
+    per_node = ops_per_node(arity, prg_kind)
+    stages = core_stages(prg_kind)
+    # Parents at each level of a (possibly ragged) l-leaf tree.
+    level_nodes = [
+        min(arity**i, -(-n_leaves // arity ** (depth - i))) for i in range(depth)
+    ]
+    total_ops = n_trees * per_node * sum(level_nodes)
+
+    if schedule == "depth_first":
+        # Dependent chain: each op waits out the full pipe.  Independent
+        # trees spread across cores (a core still stalls between ops).
+        trees_per_core = -(-n_trees // n_cores)
+        ops_per_tree = per_node * sum(level_nodes)
+        cycles = trees_per_core * ops_per_tree * stages
+        buffer_blocks = n_cores * arity * depth
+    elif schedule == "breadth_first":
+        # One tree at a time; each level fills the pipe but pays a drain
+        # when it has fewer ops than pipeline stages.
+        trees_per_core = -(-n_trees // n_cores)
+        per_tree = 0
+        for nodes in level_nodes:
+            level_ops = nodes * per_node
+            per_tree += max(level_ops, stages)
+        cycles = trees_per_core * per_tree
+        buffer_blocks = n_cores * arity**depth
+    else:  # hybrid
+        # All trees advance level-synchronously: level i offers
+        # n_trees * nodes_i * per_node independent ops.
+        cycles = 0
+        for nodes in level_nodes:
+            level_ops = n_trees * nodes * per_node
+            cycles += max(-(-level_ops // n_cores), stages)
+        cycles += stages  # initial fill
+        buffer_blocks = n_trees * arity * depth
+    utilization = total_ops / (cycles * n_cores) if cycles else 0.0
+    return ScheduleResult(
+        cycles=int(cycles),
+        total_ops=int(total_ops),
+        utilization=min(1.0, utilization),
+        buffer_blocks=int(buffer_blocks),
+    )

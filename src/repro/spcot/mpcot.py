@@ -1,0 +1,135 @@
+"""Multi-point COT: t parallel SPCOT instances with regular noise.
+
+Ferret's LPN step needs a length-n one-hot-union vector with exactly t
+set positions, distributed regularly: position ``i`` of block ``b``
+(blocks partition [0, n) evenly) carries the b-th SPCOT's puncture.
+Each block is covered by one GGM tree whose leaf count is the smallest
+power of the arity that fits the block; surplus leaves are dropped by
+both parties identically.
+
+The t trees are independent, which is exactly the inter-tree
+parallelism Ironman's hybrid expansion schedule exploits (Figure 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto import blocks
+from repro.crypto.crhf import DEFAULT_CRHF, Crhf
+from repro.crypto.prg import TreePrg
+from repro.errors import ParameterError
+from repro.ot.channel import Channel
+from repro.ot.cot import CotPool
+from repro.spcot.protocol import cots_needed, spcot_receive, spcot_send
+from repro.utils.bitops import next_power
+
+#: Tweak-space stride reserved per tree (holds all of its level tweaks).
+_TREE_TWEAK_STRIDE = 1 << 20
+
+
+def block_sizes(n: int, t: int) -> list:
+    """Regular-noise block sizes: an even split of [0, n) into t blocks."""
+    if t < 1 or n < t:
+        raise ParameterError(f"need n >= t >= 1, got n={n}, t={t}")
+    base = n // t
+    rem = n % t
+    return [base + 1 if b < rem else base for b in range(t)]
+
+
+def tree_depth_for(block_size: int, arity: int) -> int:
+    """GGM depth so that arity**depth >= block_size (>= 1 level)."""
+    leaves = max(next_power(block_size, arity), arity)
+    depth = 0
+    while arity**depth < leaves:
+        depth += 1
+    return max(depth, 1)
+
+
+def mpcot_cots_needed(n: int, t: int, arity: int) -> int:
+    """Total base COTs consumed by one multi-point execution."""
+    return sum(
+        cots_needed(arity ** tree_depth_for(size, arity), arity)
+        for size in block_sizes(n, t)
+    )
+
+
+def sample_alphas(n: int, t: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample one puncture position per regular block (local offsets)."""
+    return np.array(
+        [rng.integers(0, size) for size in block_sizes(n, t)], dtype=np.int64
+    )
+
+
+def mpcot_send(
+    channel: Channel,
+    pool: CotPool,
+    delta: np.ndarray,
+    prg: TreePrg,
+    n: int,
+    t: int,
+    rng: np.random.Generator,
+    crhf: Crhf = DEFAULT_CRHF,
+) -> np.ndarray:
+    """Sender side: returns the length-n block vector ``w``."""
+    sizes = block_sizes(n, t)
+    out = blocks.zeros(n)
+    offset = 0
+    for tree_idx, size in enumerate(sizes):
+        depth = tree_depth_for(size, prg.arity)
+        leaves = spcot_send(
+            channel,
+            pool,
+            delta,
+            prg,
+            depth,
+            rng,
+            tweak_base=tree_idx * _TREE_TWEAK_STRIDE,
+            crhf=crhf,
+        )
+        out[offset : offset + size] = leaves[:size]
+        offset += size
+    return out
+
+
+def mpcot_receive(
+    channel: Channel,
+    pool: CotPool,
+    alphas: np.ndarray,
+    prg: TreePrg,
+    n: int,
+    t: int,
+    crhf: Crhf = DEFAULT_CRHF,
+) -> tuple:
+    """Receiver side: returns (u, v) with u one-hot per block.
+
+    ``u`` is the length-n 0/1 noise vector (t set bits at the global
+    puncture positions); ``v`` the length-n block vector satisfying
+    ``w = v XOR u * Delta``.
+    """
+    sizes = block_sizes(n, t)
+    alphas = np.asarray(alphas, dtype=np.int64)
+    if alphas.shape[0] != t:
+        raise ParameterError(f"need {t} puncture positions, got {alphas.shape[0]}")
+    u = np.zeros(n, dtype=np.uint8)
+    v = blocks.zeros(n)
+    offset = 0
+    for tree_idx, size in enumerate(sizes):
+        if not 0 <= alphas[tree_idx] < size:
+            raise ParameterError(
+                f"alpha[{tree_idx}]={alphas[tree_idx]} outside its block of size {size}"
+            )
+        depth = tree_depth_for(size, prg.arity)
+        leaves = spcot_receive(
+            channel,
+            pool,
+            int(alphas[tree_idx]),
+            prg,
+            depth,
+            tweak_base=tree_idx * _TREE_TWEAK_STRIDE,
+            crhf=crhf,
+        )
+        v[offset : offset + size] = leaves[:size]
+        u[offset + alphas[tree_idx]] = 1
+        offset += size
+    return u, v

@@ -1,0 +1,163 @@
+"""The SPCOT sub-protocol (Single-Point Correlated OT, Section 2.3.1),
+including the paper's m-ary variant with (m-1)-out-of-m OT (Section 4.2).
+
+One SPCOT execution gives the sender a vector ``w`` of ``l`` blocks and
+the receiver a secret position ``alpha`` plus a vector ``v`` such that
+
+    w = v XOR u * Delta,        u = one-hot(alpha)
+
+Protocol shape (binary case = Ferret's):
+
+1. sender expands a random seed into a GGM tree;
+2. per level, the even/odd sums are offered through a 1-out-of-2 OT
+   (derandomized from one pooled base COT); the receiver selects the
+   complement of alpha's bit;
+3. the receiver reconstructs every leaf except alpha;
+4. the sender reveals ``psi = Delta XOR (XOR of all leaves)`` so the
+   receiver can finish with ``v[alpha] = psi XOR (XOR of known leaves)``.
+
+For m-ary trees the per-level transfer needs the receiver to learn all
+slot sums except one: an (m-1)-out-of-m OT.  Following Section 4.2 we
+build it from an m-leaf binary GGM "key tree": its punctured transfer
+(consuming log2(m) base COTs) hands the receiver every key-tree leaf
+``q_j`` except ``q_{alpha_i}``, and the sender broadcasts the sums
+masked as ``K_j XOR H(q_j)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto import blocks
+from repro.crypto.crhf import DEFAULT_CRHF, Crhf
+from repro.crypto.prg import ChaChaTreePrg, TreePrg
+from repro.errors import ParameterError
+from repro.ot.channel import Channel
+from repro.ot.cot import CotPool
+from repro.ot.ot_from_cot import ot_receive_from_cot, ot_send_from_cot
+from repro.spcot.ggm import (
+    PuncturedReconstructor,
+    alpha_digits,
+    expand_full,
+    level_sums,
+)
+from repro.utils.bitops import log_base
+
+#: Binary PRG shared by both parties for the (m-1)-out-of-m key trees.
+#: Deterministic module-level construction keeps sender/receiver in sync.
+_KEY_TREE_PRG = ChaChaTreePrg(arity=2, rounds=8, salt=b"ironman-key-tree")
+
+#: Tweak-space stride reserved per SPCOT level (OT pads + masked sums).
+_LEVEL_TWEAK_STRIDE = 64
+
+
+def cots_needed(n_leaves: int, arity: int) -> int:
+    """Base COTs one SPCOT execution consumes: log2 of the leaf count.
+
+    Binary levels use one COT each; an m-ary level's key tree uses
+    log2(m) -- the total is log2(l) either way (Section 4.2: sublinear
+    OT-correlation consumption is preserved).
+    """
+    depth = log_base(n_leaves, arity)
+    bits_per_level = log_base(arity, 2)
+    return depth * bits_per_level
+
+
+def _key_tree_depth(arity: int) -> int:
+    depth = log_base(arity, 2)
+    if depth < 1:
+        raise ParameterError("m-ary SPCOT needs arity to be a power of two >= 2")
+    return depth
+
+
+def spcot_send(
+    channel: Channel,
+    pool: CotPool,
+    delta: np.ndarray,
+    prg: TreePrg,
+    depth: int,
+    rng: np.random.Generator,
+    tweak_base: int = 0,
+    crhf: Crhf = DEFAULT_CRHF,
+) -> np.ndarray:
+    """Run SPCOT as the sender; returns the leaf vector ``w`` (l blocks)."""
+    m = prg.arity
+    seed = blocks.random_blocks(1, rng)
+    levels = expand_full(prg, seed, depth)
+    for level_idx in range(1, depth + 1):
+        sums = level_sums(levels[level_idx], m)
+        tweak = tweak_base + level_idx * _LEVEL_TWEAK_STRIDE
+        if m == 2:
+            cot = pool.take_sender(1)
+            ot_send_from_cot(channel, cot, sums[0:1], sums[1:2], tweak_base=tweak, crhf=crhf)
+        else:
+            kt_depth = _key_tree_depth(m)
+            kt_seed = blocks.random_blocks(1, rng)
+            kt_levels = expand_full(_KEY_TREE_PRG, kt_seed, kt_depth)
+            for kt_level in range(1, kt_depth + 1):
+                kt_sums = level_sums(kt_levels[kt_level], 2)
+                cot = pool.take_sender(1)
+                ot_send_from_cot(
+                    channel,
+                    cot,
+                    kt_sums[0:1],
+                    kt_sums[1:2],
+                    tweak_base=tweak + kt_level,
+                    crhf=crhf,
+                )
+            keys = kt_levels[-1]  # (m, 2) one-time keys q_j
+            mask_tweaks = np.arange(m, dtype=np.uint64) + np.uint64(tweak + 32)
+            channel.send_blocks(blocks.xor(sums, crhf.hash_tweaked(keys, mask_tweaks)))
+    leaves = levels[-1]
+    psi = blocks.xor(delta, blocks.xor_reduce(leaves))
+    channel.send_blocks(psi)
+    return leaves
+
+
+def spcot_receive(
+    channel: Channel,
+    pool: CotPool,
+    alpha: int,
+    prg: TreePrg,
+    depth: int,
+    tweak_base: int = 0,
+    crhf: Crhf = DEFAULT_CRHF,
+) -> np.ndarray:
+    """Run SPCOT as the receiver; returns ``v`` with the alpha-slot fixed up.
+
+    The returned vector satisfies ``w = v XOR one_hot(alpha) * Delta``
+    against the sender's ``w``.
+    """
+    m = prg.arity
+    digits = alpha_digits(alpha, m, depth)
+    recon = PuncturedReconstructor(prg, depth, digits)
+    for level_idx in range(1, depth + 1):
+        digit = digits[level_idx - 1]
+        tweak = tweak_base + level_idx * _LEVEL_TWEAK_STRIDE
+        if m == 2:
+            cot = pool.take_receiver(1)
+            choice = np.array([1 - digit], dtype=np.uint8)
+            known = ot_receive_from_cot(channel, cot, choice, tweak_base=tweak, crhf=crhf)
+            recon.feed_level({1 - digit: known})
+        else:
+            kt_depth = _key_tree_depth(m)
+            kt_digits = alpha_digits(digit, 2, kt_depth)
+            kt_recon = PuncturedReconstructor(_KEY_TREE_PRG, kt_depth, kt_digits)
+            for kt_level in range(1, kt_depth + 1):
+                kt_digit = kt_digits[kt_level - 1]
+                cot = pool.take_receiver(1)
+                choice = np.array([1 - kt_digit], dtype=np.uint8)
+                known = ot_receive_from_cot(
+                    channel, cot, choice, tweak_base=tweak + kt_level, crhf=crhf
+                )
+                kt_recon.feed_level({1 - kt_digit: known})
+            keys, _ = kt_recon.leaves()
+            masked = channel.recv_blocks()  # (m, 2)
+            mask_tweaks = np.arange(m, dtype=np.uint64) + np.uint64(tweak + 32)
+            unmasked = blocks.xor(masked, crhf.hash_tweaked(keys, mask_tweaks))
+            recon.feed_level({j: unmasked[j] for j in range(m) if j != digit})
+    v, hole = recon.leaves()
+    psi = channel.recv_blocks()
+    # v[hole] is currently zero, so the reduce covers exactly the known leaves.
+    v[hole] = blocks.xor(psi, blocks.xor_reduce(v)).reshape(2)
+    return v

@@ -1,0 +1,66 @@
+"""Bit-vector helpers shared across the protocol and simulator layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+def pack_bits(bits: np.ndarray) -> bytes:
+    """Pack a uint8 0/1 vector into bytes (little-endian bit order)."""
+    return np.packbits(np.asarray(bits, dtype=np.uint8), bitorder="little").tobytes()
+
+
+def unpack_bits(data: bytes, n: int) -> np.ndarray:
+    """Unpack ``n`` bits previously packed by :func:`pack_bits`."""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    bits = np.unpackbits(arr, bitorder="little")
+    if bits.shape[0] < n:
+        raise ParameterError(f"byte string holds {bits.shape[0]} bits, need {n}")
+    return bits[:n].copy()
+
+
+def int_to_digits(value: int, base: int, width: int) -> list:
+    """Little-endian base-``base`` digits of ``value``, padded to ``width``."""
+    if value < 0:
+        raise ParameterError("value must be non-negative")
+    digits = []
+    for _ in range(width):
+        digits.append(value % base)
+        value //= base
+    if value:
+        raise ParameterError("value does not fit in the requested digit width")
+    return digits
+
+
+def digits_to_int(digits, base: int) -> int:
+    """Inverse of :func:`int_to_digits`."""
+    value = 0
+    for d in reversed(list(digits)):
+        if not 0 <= d < base:
+            raise ParameterError(f"digit {d} out of range for base {base}")
+        value = value * base + d
+    return value
+
+
+def next_power(value: int, base: int) -> int:
+    """Smallest power of ``base`` that is >= ``value``."""
+    if value < 1:
+        raise ParameterError("value must be positive")
+    power = 1
+    while power < value:
+        power *= base
+    return power
+
+
+def log_base(value: int, base: int) -> int:
+    """Exact logarithm; raises if ``value`` is not a power of ``base``."""
+    depth = 0
+    acc = 1
+    while acc < value:
+        acc *= base
+        depth += 1
+    if acc != value:
+        raise ParameterError(f"{value} is not a power of {base}")
+    return depth

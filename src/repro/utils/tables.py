@@ -1,0 +1,33 @@
+"""Tiny ASCII table renderer used by the benchmark harness.
+
+Every bench regenerates a paper table/figure as rows printed through
+this module, so the harness output can be compared side-by-side with
+the paper.
+"""
+
+from __future__ import annotations
+
+
+def render_table(headers, rows, title: str = "") -> str:
+    """Render rows (sequences of stringable cells) as an aligned table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(str_headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers, rows, title: str = "") -> None:
+    """Print a rendered table followed by a blank line."""
+    print(render_table(headers, rows, title=title))
+    print()

@@ -1,0 +1,102 @@
+"""Schnorr group + PKC base OT tests (the OTE Init phase)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import blocks
+from repro.crypto.group import DEFAULT_GROUP, MODP_2048_P, OAKLEY_768_P, SchnorrGroup
+from repro.ot.base_ot import (
+    base_cot_receive,
+    base_cot_send,
+    base_ot_receive,
+    base_ot_send,
+)
+from repro.ot.channel import run_pair
+from repro.ot.cot import CotReceiverBatch, CotSenderBatch, verify_cot
+
+
+class TestGroup:
+    def test_oakley_modulus_is_odd_and_large(self):
+        assert OAKLEY_768_P % 2 == 1
+        assert OAKLEY_768_P.bit_length() == 768
+
+    def test_generator_is_quadratic_residue(self):
+        g = DEFAULT_GROUP.g
+        # g = 4 is a QR; its order divides q.
+        assert pow(g, DEFAULT_GROUP.q, DEFAULT_GROUP.p) == 1
+
+    def test_exp_inverse(self):
+        a = DEFAULT_GROUP.random_scalar()
+        ga = DEFAULT_GROUP.gexp(a)
+        assert DEFAULT_GROUP.mul(ga, DEFAULT_GROUP.inv(ga)) == 1
+
+    def test_dh_agreement(self):
+        a, b = DEFAULT_GROUP.random_scalar(), DEFAULT_GROUP.random_scalar()
+        left = DEFAULT_GROUP.exp(DEFAULT_GROUP.gexp(a), b)
+        right = DEFAULT_GROUP.exp(DEFAULT_GROUP.gexp(b), a)
+        assert left == right
+
+    def test_element_bytes_fixed_width(self):
+        assert len(DEFAULT_GROUP.element_bytes(1)) == 96  # 768 bits
+
+    def test_hash_to_key_tweak_separation(self):
+        e = DEFAULT_GROUP.gexp(12345)
+        assert DEFAULT_GROUP.hash_to_key(e, b"|0") != DEFAULT_GROUP.hash_to_key(e, b"|1")
+
+    def test_modp2048_also_constructs(self):
+        g = SchnorrGroup(p=MODP_2048_P)
+        assert g.q == (MODP_2048_P - 1) // 2
+
+
+class TestBaseOt:
+    def test_receiver_gets_chosen_messages(self, rng):
+        n = 12
+        m0 = blocks.random_blocks(n, rng)
+        m1 = blocks.random_blocks(n, rng)
+        choices = rng.integers(0, 2, n).astype(np.uint8)
+        _, got, _, _ = run_pair(
+            lambda ch: base_ot_send(ch, m0, m1),
+            lambda ch: base_ot_receive(ch, choices),
+        )
+        expect = np.where(choices[:, None].astype(bool), m1, m0)
+        assert np.array_equal(got, expect)
+
+    def test_receiver_never_gets_other_message(self, rng):
+        n = 12
+        m0 = blocks.random_blocks(n, rng)
+        m1 = blocks.random_blocks(n, rng)
+        choices = rng.integers(0, 2, n).astype(np.uint8)
+        _, got, _, _ = run_pair(
+            lambda ch: base_ot_send(ch, m0, m1),
+            lambda ch: base_ot_receive(ch, choices),
+        )
+        other = np.where(choices[:, None].astype(bool), m0, m1)
+        assert not np.any(blocks.equal(got, other))
+
+    @pytest.mark.parametrize("constant_choice", [0, 1])
+    def test_all_same_choice(self, rng, constant_choice):
+        n = 6
+        m0 = blocks.random_blocks(n, rng)
+        m1 = blocks.random_blocks(n, rng)
+        choices = np.full(n, constant_choice, dtype=np.uint8)
+        _, got, _, _ = run_pair(
+            lambda ch: base_ot_send(ch, m0, m1),
+            lambda ch: base_ot_receive(ch, choices),
+        )
+        assert np.array_equal(got, m1 if constant_choice else m0)
+
+    def test_base_cot_correlation(self, rng):
+        n = 16
+        delta = blocks.random_blocks(1, rng)
+        choices = rng.integers(0, 2, n).astype(np.uint8)
+        r, y, _, _ = run_pair(
+            lambda ch: base_cot_send(ch, n, delta, rng),
+            lambda ch: base_cot_receive(ch, choices),
+        )
+        assert verify_cot(CotSenderBatch(delta, r), CotReceiverBatch(choices, y))
+
+    def test_shared_fixture_is_valid(self, shared_cots):
+        s, r = shared_cots
+        assert verify_cot(s, r)
+        # sanity: choice bits not constant
+        assert 0 < r.x.mean() < 1

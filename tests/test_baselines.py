@@ -1,0 +1,95 @@
+"""CPU/GPU baseline model + roofline tests."""
+
+import pytest
+
+from repro.baselines.cpu import DEFAULT_CPU, CpuModel
+from repro.baselines.gpu import DEFAULT_GPU, GPU_SPEEDUP_OVER_CPU
+from repro.baselines.roofline import (
+    PEAK_AES_PER_S,
+    lpn_point,
+    roofline_series,
+    spcot_point,
+)
+from repro.core.calibration import FIG1B_CPU_PER_EXECUTION_S
+from repro.lpn.params import TABLE4, TABLE4_BY_LABEL
+
+
+class TestCpuModel:
+    @pytest.mark.parametrize("params", TABLE4, ids=lambda p: p.label)
+    def test_calibration_tracks_fig1b(self, params):
+        """Per-execution latency within 25% of the paper's Figure 1(b)."""
+        ours = DEFAULT_CPU.execution_breakdown(params).total_seconds
+        paper = FIG1B_CPU_PER_EXECUTION_S[params.label]
+        assert ours == pytest.approx(paper, rel=0.25)
+
+    def test_latency_monotone_in_param_size(self):
+        prev = 0.0
+        for params in TABLE4:
+            cur = DEFAULT_CPU.execution_breakdown(params).compute_seconds
+            assert cur > prev
+            prev = cur
+
+    def test_spcot_and_lpn_are_comparable_shares(self):
+        """Figure 1(b): both phases matter (neither below ~25%)."""
+        for params in TABLE4:
+            b = DEFAULT_CPU.execution_breakdown(params)
+            share = b.spcot_seconds / b.compute_seconds
+            assert 0.25 < share < 0.75
+
+    def test_init_charged_once(self):
+        p = TABLE4_BY_LABEL["2^20"]
+        one = DEFAULT_CPU.latency_for(p, p.usable_output)
+        two = DEFAULT_CPU.latency_for(p, 2 * p.usable_output)
+        per_exec = DEFAULT_CPU.execution_breakdown(p).compute_seconds
+        assert two - one == pytest.approx(per_exec, rel=0.01)
+
+    def test_chacha_software_has_no_nI_advantage(self):
+        """Section 3.1: ChaCha only wins on custom hardware; in software
+        the model keeps AES ahead (AES-NI)."""
+        p = TABLE4_BY_LABEL["2^20"]
+        aes = DEFAULT_CPU.execution_breakdown(p, arity=2, prg_kind="aes")
+        cc = DEFAULT_CPU.execution_breakdown(p, arity=2, prg_kind="chacha8")
+        assert cc.spcot_seconds > aes.spcot_seconds
+
+    def test_throughput_definition(self):
+        p = TABLE4_BY_LABEL["2^22"]
+        thr = DEFAULT_CPU.throughput_ots(p)
+        assert thr == pytest.approx(
+            p.usable_output / DEFAULT_CPU.execution_breakdown(p).compute_seconds
+        )
+
+
+class TestGpuModel:
+    @pytest.mark.parametrize("params", TABLE4, ids=lambda p: p.label)
+    def test_gpu_is_5_88x_cpu(self, params):
+        cpu = DEFAULT_CPU.latency_for(params, 1 << 24, include_init=False)
+        gpu = DEFAULT_GPU.latency_for(params, 1 << 24)
+        assert cpu / gpu == pytest.approx(GPU_SPEEDUP_OVER_CPU, rel=0.02)
+
+    def test_gpu_phase_shares(self):
+        b = DEFAULT_GPU.execution_breakdown(TABLE4_BY_LABEL["2^22"])
+        total = b.spcot_seconds + b.lpn_seconds
+        assert b.spcot_seconds / total == pytest.approx(0.441 / 0.943, rel=0.02)
+
+
+class TestRoofline:
+    def test_spcot_is_compute_bound(self):
+        for params in TABLE4:
+            assert spcot_point(params).bound == "compute"
+
+    def test_lpn_is_memory_bound(self):
+        for params in TABLE4:
+            assert lpn_point(params).bound == "memory"
+
+    def test_achieved_below_roof(self):
+        for point in roofline_series(TABLE4):
+            assert point.achieved_aes_per_s <= point.roof_aes_per_s * 1.05
+
+    def test_intensity_ordering(self):
+        """SPCOT sits an order of magnitude right of LPN (Fig 1c)."""
+        s = spcot_point(TABLE4_BY_LABEL["2^22"])
+        l = lpn_point(TABLE4_BY_LABEL["2^22"])
+        assert s.intensity_aes_per_byte > 5 * l.intensity_aes_per_byte
+
+    def test_peak_matches_cores_times_freq(self):
+        assert PEAK_AES_PER_S == 24 * 2.2e9

@@ -1,0 +1,158 @@
+"""Unit + property tests for the 128-bit block algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import blocks
+from repro.errors import ParameterError
+
+
+class TestBasics:
+    def test_zeros_shape_and_value(self):
+        z = blocks.zeros(5)
+        assert z.shape == (5, 2)
+        assert z.dtype == np.uint64
+        assert not z.any()
+
+    def test_single_packs_low_and_high(self):
+        b = blocks.single(3, 7)
+        assert b.shape == (1, 2)
+        assert b[0, 0] == 3 and b[0, 1] == 7
+
+    def test_random_blocks_deterministic_per_seed(self):
+        a = blocks.random_blocks(10, np.random.default_rng(1))
+        b = blocks.random_blocks(10, np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_random_blocks_differ_across_seeds(self):
+        a = blocks.random_blocks(10, np.random.default_rng(1))
+        b = blocks.random_blocks(10, np.random.default_rng(2))
+        assert not np.array_equal(a, b)
+
+    def test_is_block_array_rejects_wrong_shape(self):
+        assert not blocks.is_block_array(np.zeros((4, 3), dtype=np.uint64))
+        assert not blocks.is_block_array(np.zeros((4, 2), dtype=np.uint32))
+        assert blocks.is_block_array(blocks.zeros(4))
+
+    def test_require_blocks_raises_with_name(self):
+        with pytest.raises(ParameterError, match="myvec"):
+            blocks.require_blocks([1, 2, 3], "myvec")
+
+
+class TestXor:
+    def test_xor_self_is_zero(self, rng):
+        a = blocks.random_blocks(16, rng)
+        assert not blocks.xor(a, a).any()
+
+    def test_xor_identity(self, rng):
+        a = blocks.random_blocks(16, rng)
+        assert np.array_equal(blocks.xor(a, blocks.zeros(16)), a)
+
+    def test_xor_reduce_matches_loop(self, rng):
+        a = blocks.random_blocks(9, rng)
+        acc = blocks.zeros(1)
+        for i in range(9):
+            acc = blocks.xor(acc, a[i : i + 1])
+        assert np.array_equal(blocks.xor_reduce(a), acc)
+
+    def test_xor_reduce_empty_is_zero(self):
+        assert not blocks.xor_reduce(blocks.zeros(0)).any()
+
+    def test_xor_broadcasts_single_block(self, rng):
+        a = blocks.random_blocks(8, rng)
+        d = blocks.random_blocks(1, rng)
+        out = blocks.xor(a, d)
+        assert np.array_equal(out[3], a[3] ^ d[0])
+
+
+class TestSerialization:
+    def test_bytes_roundtrip(self, rng):
+        a = blocks.random_blocks(7, rng)
+        assert np.array_equal(blocks.from_bytes(blocks.to_bytes(a)), a)
+
+    def test_bytes_length(self, rng):
+        a = blocks.random_blocks(3, rng)
+        assert len(blocks.to_bytes(a)) == 48
+
+    def test_from_bytes_rejects_partial_block(self):
+        with pytest.raises(ParameterError):
+            blocks.from_bytes(b"\x00" * 17)
+
+    def test_uint8_roundtrip(self, rng):
+        a = blocks.random_blocks(4, rng)
+        assert np.array_equal(blocks.from_uint8(blocks.to_uint8(a)), a)
+
+    def test_uint32_roundtrip(self, rng):
+        a = blocks.random_blocks(4, rng)
+        assert np.array_equal(blocks.from_uint32(blocks.to_uint32(a)), a)
+
+    def test_uint8_view_is_little_endian(self):
+        b = blocks.single(0x0102030405060708, 0)
+        raw = blocks.to_uint8(b)[0]
+        assert raw[0] == 0x08 and raw[7] == 0x01
+
+    def test_int_roundtrip(self):
+        value = (1 << 127) | 12345
+        assert blocks.to_int(blocks.from_int(value)) == value
+
+    def test_from_int_rejects_out_of_range(self):
+        with pytest.raises(ParameterError):
+            blocks.from_int(1 << 128)
+        with pytest.raises(ParameterError):
+            blocks.from_int(-1)
+
+
+class TestBitHelpers:
+    def test_get_lsb(self):
+        arr = np.array([[2, 0], [3, 0], [4, 9]], dtype=np.uint64)
+        assert blocks.get_lsb(arr).tolist() == [0, 1, 0]
+
+    def test_set_lsb(self, rng):
+        a = blocks.random_blocks(8, rng)
+        assert blocks.get_lsb(blocks.set_lsb(a, 1)).tolist() == [1] * 8
+        assert blocks.get_lsb(blocks.set_lsb(a, 0)).tolist() == [0] * 8
+
+    def test_set_lsb_preserves_other_bits(self, rng):
+        a = blocks.random_blocks(8, rng)
+        out = blocks.set_lsb(a, 0)
+        assert np.array_equal(a[:, 0] >> np.uint64(1), out[:, 0] >> np.uint64(1))
+        assert np.array_equal(a[:, 1], out[:, 1])
+
+    def test_mul_bit_zero_and_one(self, rng):
+        a = blocks.random_blocks(6, rng)
+        bits = np.array([0, 1, 0, 1, 1, 0], dtype=np.uint8)
+        out = blocks.mul_bit(a, bits)
+        for i, bit in enumerate(bits):
+            if bit:
+                assert np.array_equal(out[i], a[i])
+            else:
+                assert not out[i].any()
+
+    def test_mul_bit_broadcasts_delta(self, rng):
+        d = blocks.random_blocks(1, rng)
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        out = blocks.mul_bit(d, bits)
+        assert out.shape == (3, 2)
+        assert np.array_equal(out[0], d[0]) and not out[1].any()
+
+    def test_equal_vector(self, rng):
+        a = blocks.random_blocks(4, rng)
+        b = a.copy()
+        b[2] ^= np.uint64(1)
+        assert blocks.equal(a, b).tolist() == [True, True, False, True]
+
+
+class TestProperties:
+    @given(st.integers(0, 2**128 - 1), st.integers(0, 2**128 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_xor_matches_python_ints(self, x, y):
+        bx, by = blocks.from_int(x), blocks.from_int(y)
+        assert blocks.to_int(blocks.xor(bx, by)) == x ^ y
+
+    @given(st.integers(0, 2**128 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_int_bytes_consistency(self, x):
+        b = blocks.from_int(x)
+        assert int.from_bytes(blocks.to_bytes(b), "little") == x

@@ -1,0 +1,113 @@
+"""Top-level system tests: Figure 12 bands, Table 5, headline claims."""
+
+import pytest
+
+from repro.core import calibration
+from repro.core.comparison import figure12_sweep, gpu_comparison, speedup_band
+from repro.core.ironman import IronmanSystem, other_seconds, table5_rows
+from repro.lpn.params import TABLE4_BY_LABEL
+from repro.nmp.config import IRONMAN_1MB
+from repro.ppml.network import LAN
+from repro.utils.units import KIB
+
+
+@pytest.fixture(scope="module")
+def fig12_rows():
+    return figure12_sweep(rank_options=(2, 16))
+
+
+@pytest.fixture(scope="module")
+def t5_rows():
+    return table5_rows(IronmanSystem())
+
+
+class TestFigure12:
+    def test_best_param_is_2_20(self, fig12_rows):
+        """Section 6.1: best improvement at output size 2^20."""
+        cell = [r for r in fig12_rows if r["cache_kb"] == 1024 and r["ranks"] == 16]
+        best = max(cell, key=lambda r: r["speedup_vs_cpu"])
+        assert best["params"] == "2^20"
+
+    def test_rank_scaling_near_linear(self, fig12_rows):
+        lo = speedup_band(fig12_rows, 256, 2)
+        hi = speedup_band(fig12_rows, 256, 16)
+        assert 6.0 < hi[1] / lo[1] < 10.0  # 8 ranks -> ~8x
+
+    def test_1mb_beats_256kb(self, fig12_rows):
+        small = speedup_band(fig12_rows, 256, 16)
+        large = speedup_band(fig12_rows, 1024, 16)
+        assert large[1] > small[1]
+
+    def test_max_band_endpoint_tracks_paper_256kb(self, fig12_rows):
+        """Our 256KB/16-rank max speedup lands on the paper's 39.26x."""
+        _, hi = speedup_band(fig12_rows, 256, 16)
+        paper_hi = calibration.FIG12_SPEEDUP_BANDS[(256, 16)][1]
+        assert hi == pytest.approx(paper_hi, rel=0.25)
+
+    def test_all_speedups_exceed_one(self, fig12_rows):
+        assert all(r["speedup_vs_cpu"] > 1.0 for r in fig12_rows)
+
+    def test_ironman_beats_gpu_at_16_ranks(self, fig12_rows):
+        cell = [r for r in fig12_rows if r["ranks"] == 16]
+        assert all(r["speedup_vs_gpu"] > 1.0 for r in cell)
+
+
+class TestGpuComparison:
+    def test_power_advantage(self):
+        res = gpu_comparison(IRONMAN_1MB, TABLE4_BY_LABEL["2^20"])
+        assert res["power_ratio"] > 10.0  # paper: 84.5x
+        assert res["latency_ratio"] > 1.0  # paper: 40.31x
+
+
+class TestTable5:
+    def test_lan_baselines_anchor_exactly_when_residual_positive(self, t5_rows):
+        for row in t5_rows:
+            paper_lan = row["paper"][3]
+            if other_seconds(row["model"], row["framework"]) > 0:
+                assert row["lan_base"] == pytest.approx(paper_lan, rel=0.01)
+
+    def test_lan_speedups_in_paper_regime(self, t5_rows):
+        for row in t5_rows:
+            assert 1.2 < row["lan_speedup"] < 5.5
+
+    def test_transformers_gain_more_than_cnns(self, t5_rows):
+        """Table 5 observation (2): richer nonlinearities -> more OT ->
+        larger end-to-end gains."""
+        tr = [r["lan_speedup"] for r in t5_rows if r["framework"] == "Bolt"]
+        cnn = [r["lan_speedup"] for r in t5_rows if r["framework"] != "Bolt"]
+        assert sum(tr) / len(tr) > sum(cnn) / len(cnn)
+
+    def test_wan_gains_smaller_than_lan(self, t5_rows):
+        """Table 5 observation (3): communication bounds WAN gains."""
+        for row in t5_rows:
+            assert row["wan_speedup"] < row["lan_speedup"]
+
+    def test_wan_speedups_in_paper_band(self, t5_rows):
+        lo, hi = calibration.TABLE5_WAN_RANGE
+        for row in t5_rows:
+            assert lo - 0.15 <= row["wan_speedup"] <= hi + 0.15
+
+    def test_headline_e2e_band_overlaps(self, t5_rows):
+        lo, hi = calibration.HEADLINE_E2E_RANGE
+        speedups = [r["lan_speedup"] for r in t5_rows]
+        assert max(speedups) >= lo
+        assert min(speedups) <= hi
+
+
+class TestSystemFacade:
+    def test_ote_speedup_in_paper_overall_band(self):
+        sp = IronmanSystem().ote_speedup("2^20")
+        lo, hi = calibration.HEADLINE_SPEEDUP_RANGE
+        assert lo * 0.5 <= sp <= hi  # within the honest-reproduction window
+
+    def test_estimate_uses_calibrated_residual(self):
+        sys_ = IronmanSystem()
+        est = sys_.estimate("ResNet50", "Cheetah", LAN, use_ironman=False)
+        assert est.total_seconds == pytest.approx(48.3, rel=0.02)
+
+    def test_fig1a_ot_share_for_paper_models(self):
+        """Figure 1(a): OT extension dominates for the profiled models."""
+        sys_ = IronmanSystem()
+        for fw, model in (("Cheetah", "ResNet50"), ("Bolt", "BERT-Base")):
+            est = sys_.estimate(model, fw, LAN, use_ironman=False)
+            assert est.share("ot") > 0.4

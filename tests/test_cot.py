@@ -1,0 +1,105 @@
+"""COT correlation container + pool tests."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import blocks
+from repro.errors import ParameterError, ProtocolError
+from repro.ot.cot import CotPool, CotReceiverBatch, CotSenderBatch, verify_cot
+
+
+def make_pair(n, rng, delta=None, flip=None):
+    """Build a synthetic COT pair (optionally corrupting index `flip`)."""
+    delta = delta if delta is not None else blocks.random_blocks(1, rng)
+    z = blocks.random_blocks(n, rng)
+    x = rng.integers(0, 2, n).astype(np.uint8)
+    y = blocks.xor(z, blocks.mul_bit(delta, x))
+    if flip is not None:
+        y[flip] ^= np.uint64(1)
+    return CotSenderBatch(delta, z), CotReceiverBatch(x, y)
+
+
+class TestBatches:
+    def test_verify_accepts_valid(self, rng):
+        s, r = make_pair(32, rng)
+        assert verify_cot(s, r)
+
+    def test_verify_rejects_corruption(self, rng):
+        s, r = make_pair(32, rng, flip=7)
+        assert not verify_cot(s, r)
+
+    def test_verify_rejects_length_mismatch(self, rng):
+        s, r = make_pair(8, rng)
+        s2, _ = make_pair(9, rng)
+        assert not verify_cot(s2, r)
+
+    def test_message_pairs_differ_by_delta(self, rng):
+        s, _ = make_pair(8, rng)
+        m0, m1 = s.message_pairs()
+        assert np.array_equal(blocks.xor(m0, m1), np.repeat(s.delta, 8, axis=0))
+
+    def test_split_preserves_correlation(self, rng):
+        s, r = make_pair(16, rng)
+        s1, s2 = s.split(5)
+        r1, r2 = r.split(5)
+        assert verify_cot(s1, r1) and verify_cot(s2, r2)
+        assert len(s1) == 5 and len(s2) == 11
+
+    def test_split_too_large_raises(self, rng):
+        s, _ = make_pair(4, rng)
+        with pytest.raises(ParameterError):
+            s.split(5)
+
+    def test_delta_must_be_single_block(self, rng):
+        with pytest.raises(ParameterError):
+            CotSenderBatch(blocks.random_blocks(2, rng), blocks.random_blocks(4, rng))
+
+    def test_receiver_length_mismatch_raises(self, rng):
+        with pytest.raises(ParameterError):
+            CotReceiverBatch(np.zeros(3, dtype=np.uint8), blocks.random_blocks(4, rng))
+
+
+class TestPool:
+    def test_requires_exactly_one_role(self, rng):
+        s, r = make_pair(4, rng)
+        with pytest.raises(ParameterError):
+            CotPool()
+        with pytest.raises(ParameterError):
+            CotPool(sender=s, receiver=r)
+
+    def test_take_sender_consumes_in_order(self, rng):
+        s, _ = make_pair(10, rng)
+        pool = CotPool(sender=s)
+        first = pool.take_sender(4)
+        second = pool.take_sender(3)
+        assert np.array_equal(first.z, s.z[:4])
+        assert np.array_equal(second.z, s.z[4:7])
+        assert pool.remaining == 3
+
+    def test_take_receiver_consumes_in_order(self, rng):
+        _, r = make_pair(10, rng)
+        pool = CotPool(receiver=r)
+        got = pool.take_receiver(6)
+        assert np.array_equal(got.x, r.x[:6])
+        assert pool.remaining == 4
+
+    def test_exhaustion_raises_loudly(self, rng):
+        s, _ = make_pair(4, rng)
+        pool = CotPool(sender=s)
+        pool.take_sender(4)
+        with pytest.raises(ProtocolError, match="exhausted"):
+            pool.take_sender(1)
+
+    def test_wrong_role_raises(self, rng):
+        s, r = make_pair(4, rng)
+        with pytest.raises(ProtocolError):
+            CotPool(sender=s).take_receiver(1)
+        with pytest.raises(ProtocolError):
+            CotPool(receiver=r).take_sender(1)
+
+    def test_paired_pools_stay_aligned(self, rng):
+        """Consuming both pools in the same slices keeps correlations valid."""
+        s, r = make_pair(20, rng)
+        ps, pr = CotPool(sender=s), CotPool(receiver=r)
+        for n in (3, 7, 10):
+            assert verify_cot(ps.take_sender(n), pr.take_receiver(n))

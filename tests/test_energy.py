@@ -1,0 +1,82 @@
+"""Area/power model tests against Table 2 / Table 6."""
+
+import pytest
+
+from repro.core import calibration
+from repro.errors import ParameterError
+from repro.sim.energy import (
+    AES_CORE,
+    CHACHA8_CORE,
+    nmp_overhead,
+    prg_comparison_rows,
+    sram_area_mm2,
+    sram_power_w,
+    table6_rows,
+)
+from repro.utils.units import KIB, MIB
+
+
+class TestTable2:
+    def test_core_constants_match_paper(self):
+        assert AES_CORE.area_mm2 == calibration.TABLE2["aes"]["area_mm2"]
+        assert CHACHA8_CORE.area_mm2 == calibration.TABLE2["chacha8"]["area_mm2"]
+
+    def test_perf_per_area_ratio(self):
+        rows = {r["prg"]: r for r in prg_comparison_rows()}
+        assert rows["AES-128"]["perf_per_area_ratio"] == pytest.approx(1.0)
+        # First-principles ratio (512/0.215)/(128/0.233) = 4.335 sits
+        # 3.5% below the paper's quoted 4.491 (EXPERIMENTS.md).
+        assert rows["ChaCha8"]["perf_per_area_ratio"] == pytest.approx(
+            calibration.TABLE2["chacha8"]["perf_area_ratio"], rel=0.05
+        )
+
+    def test_power_per_block_ratio(self):
+        rows = {r["prg"]: r for r in prg_comparison_rows()}
+        assert rows["ChaCha8"]["power_per_block_ratio"] == pytest.approx(
+            calibration.TABLE2["chacha8"]["power_block_ratio"], rel=0.01
+        )
+
+    def test_chacha_output_is_512_bits(self):
+        assert CHACHA8_CORE.output_bits == 512
+
+
+class TestSramFits:
+    def test_area_monotone(self):
+        assert sram_area_mm2(MIB) > sram_area_mm2(256 * KIB) > sram_area_mm2(32 * KIB)
+
+    def test_fig14b_2mb_over_1mb_ratio(self):
+        ratio = sram_area_mm2(2 * MIB) / sram_area_mm2(MIB)
+        assert ratio == pytest.approx(2.21, rel=0.02)
+
+    def test_power_monotone(self):
+        assert sram_power_w(2 * MIB) > sram_power_w(256 * KIB)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ParameterError):
+            sram_area_mm2(0)
+        with pytest.raises(ParameterError):
+            sram_power_w(-1)
+
+
+class TestTable6:
+    def test_256kb_totals(self):
+        ov = nmp_overhead(256 * KIB)
+        assert ov.area_mm2 == pytest.approx(calibration.TABLE6["nmp_256k_area_mm2"], rel=0.02)
+        assert ov.power_w == pytest.approx(calibration.TABLE6["nmp_256k_power_w"], rel=0.02)
+
+    def test_1mb_totals(self):
+        ov = nmp_overhead(MIB)
+        assert ov.area_mm2 == pytest.approx(calibration.TABLE6["nmp_1m_area_mm2"], rel=0.01)
+        assert ov.power_w == pytest.approx(calibration.TABLE6["nmp_1m_power_w"], rel=0.01)
+
+    def test_far_below_dram_chip_envelope(self):
+        ov = nmp_overhead(MIB)
+        assert ov.area_mm2 < 100.0 * 0.05  # < 5% of a DRAM chip
+        assert ov.power_w < 10.0 * 0.2  # < 20% of an LRDIMM
+
+    def test_table_rows_complete(self):
+        rows = table6_rows()
+        names = [r["component"] for r in rows]
+        assert "ChaCha8 Core" in names
+        assert any("256KB" in n for n in names)
+        assert any("Typical DRAM chip" in n for n in names)

@@ -1,0 +1,136 @@
+"""PPML inference estimation + framework profile tests."""
+
+import pytest
+
+from repro.baselines.cpu import DEFAULT_CPU
+from repro.errors import ParameterError
+from repro.lpn.params import TABLE4_BY_LABEL
+from repro.nmp.accelerator import IronmanAccelerator
+from repro.nmp.config import IRONMAN_1MB
+from repro.ppml.inference import (
+    CpuOte,
+    DEFAULT_APP_PARAMS,
+    GpuOte,
+    IronmanOte,
+    estimate_inference,
+    nonlinear_layer_count,
+    ote_comm_per_execution,
+)
+from repro.ppml.models import build
+from repro.ppml.network import LAN, WAN, NetworkModel
+from repro.ppml.nonlinear import BOLT, CHEETAH, CRYPTFLOW2, FRAMEWORKS, SIRNN
+
+
+class TestNetwork:
+    def test_transfer_time(self):
+        assert LAN.transfer_seconds(3e9 / 8) == pytest.approx(1.0)
+
+    def test_round_time(self):
+        assert WAN.round_seconds(10) == pytest.approx(0.2)
+
+    def test_wan_slower_than_lan(self):
+        assert WAN.interaction_seconds(1e9, 100) > LAN.interaction_seconds(1e9, 100)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            NetworkModel("bad", 0, 0.1)
+
+
+class TestProfiles:
+    def test_all_four_frameworks_registered(self):
+        assert set(FRAMEWORKS) == {"CrypTFlow2", "Cheetah", "Bolt", "EzPC-SiRNN"}
+
+    def test_cheetah_cheaper_than_cryptflow2_per_relu(self):
+        assert CHEETAH.cost_of("relu").cots < CRYPTFLOW2.cost_of("relu").cots
+
+    def test_bolt_softmax_is_priciest_transformer_op(self):
+        costs = BOLT.costs
+        assert costs["softmax"].cots > costs["gelu"].cots > 0
+
+    def test_cot_demand_includes_mac_term(self):
+        counts = {"relu": 1000}
+        base = CRYPTFLOW2.cot_demand(counts, macs=0)
+        with_macs = CRYPTFLOW2.cot_demand(counts, macs=10_000)
+        assert with_macs == pytest.approx(base + 1000.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ParameterError):
+            BOLT.cost_of("relu")  # Bolt profiles transformers only
+
+    def test_online_bytes_linear(self):
+        a = SIRNN.online_bytes({"gelu": 100})
+        b = SIRNN.online_bytes({"gelu": 200})
+        assert b == pytest.approx(2 * a)
+
+
+class TestOteProviders:
+    def test_provider_ordering(self):
+        params = DEFAULT_APP_PARAMS
+        n = 100_000_000
+        cpu = CpuOte(params).seconds_for(n)
+        gpu = GpuOte(params).seconds_for(n)
+        ours = IronmanOte(params, IronmanAccelerator(IRONMAN_1MB)).seconds_for(n)
+        assert ours < gpu < cpu
+
+    def test_comm_scales_with_executions(self):
+        params = DEFAULT_APP_PARAMS
+        p = CpuOte(params)
+        b1, r1 = p.comm_for(params.usable_output)
+        b2, r2 = p.comm_for(2 * params.usable_output)
+        assert b2 == pytest.approx(2 * b1) and r2 == 2 * r1
+
+    def test_mary_ote_comm_exceeds_binary(self):
+        """Figure 7(b): 4-ary costs more communication per execution."""
+        params = TABLE4_BY_LABEL["2^20"]
+        b2, _ = ote_comm_per_execution(params, arity=2)
+        b4, _ = ote_comm_per_execution(params, arity=4)
+        assert b4 > b2
+
+    def test_mary_ote_rounds_comparable(self):
+        """Key-tree OTs serialize inside each m-ary level, so rounds stay
+        within ~1.5x of the binary protocol (levels halve, 3 rounds each)."""
+        params = TABLE4_BY_LABEL["2^20"]
+        _, r2 = ote_comm_per_execution(params, arity=2)
+        _, r4 = ote_comm_per_execution(params, arity=4)
+        assert r2 <= r4 <= 2 * r2
+
+
+class TestEstimator:
+    def test_breakdown_sums_to_total(self):
+        model = build("ResNet18")
+        est = estimate_inference(model, CHEETAH, CpuOte(DEFAULT_APP_PARAMS), LAN, 2.0)
+        assert est.total_seconds == pytest.approx(
+            est.he_seconds + est.ot_seconds + est.online_comm_seconds + 2.0
+        )
+
+    def test_shares_sum_to_one(self):
+        model = build("ResNet50")
+        est = estimate_inference(model, CHEETAH, CpuOte(DEFAULT_APP_PARAMS), LAN, 1.0)
+        total = sum(est.share(c) for c in ("he", "ot", "online", "other"))
+        assert total == pytest.approx(1.0)
+
+    def test_unknown_share_component(self):
+        model = build("ResNet18")
+        est = estimate_inference(model, CHEETAH, CpuOte(DEFAULT_APP_PARAMS), LAN)
+        with pytest.raises(ParameterError):
+            est.share("quantum")
+
+    def test_ironman_only_reduces_ot_component(self):
+        model = build("BERT-Base")
+        cpu = estimate_inference(model, BOLT, CpuOte(DEFAULT_APP_PARAMS), LAN)
+        our = estimate_inference(
+            model, BOLT, IronmanOte(DEFAULT_APP_PARAMS, IronmanAccelerator(IRONMAN_1MB)), LAN
+        )
+        assert our.ot_seconds < cpu.ot_seconds
+        assert our.he_seconds == pytest.approx(cpu.he_seconds)
+        assert our.online_comm_seconds == pytest.approx(cpu.online_comm_seconds)
+
+    def test_wan_total_exceeds_lan(self):
+        model = build("ResNet18")
+        lan = estimate_inference(model, CHEETAH, CpuOte(DEFAULT_APP_PARAMS), LAN)
+        wan = estimate_inference(model, CHEETAH, CpuOte(DEFAULT_APP_PARAMS), WAN)
+        assert wan.total_seconds > lan.total_seconds
+
+    def test_nonlinear_layer_count_positive(self):
+        assert nonlinear_layer_count(build("ResNet18")) >= 18
+        assert nonlinear_layer_count(build("BERT-Base")) > 40

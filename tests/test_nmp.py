@@ -1,0 +1,170 @@
+"""NMP layer tests: config, ISA, rank/DIMM models, accelerator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.lpn.params import TABLE4_BY_LABEL
+from repro.nmp.accelerator import IronmanAccelerator
+from repro.nmp.config import IRONMAN_1MB, IRONMAN_256KB, NmpConfig
+from repro.nmp.dimm import spcot_execution
+from repro.nmp.isa import NmpInst, Opcode, WIRE_BYTES, lpn_program
+from repro.nmp.rank import lpn_execution_seconds, simulate_rank_lpn
+from repro.utils.units import KIB
+
+P20 = TABLE4_BY_LABEL["2^20"]
+P22 = TABLE4_BY_LABEL["2^22"]
+
+
+class TestConfig:
+    def test_default_geometry(self):
+        assert IRONMAN_256KB.n_ranks == 16
+        assert IRONMAN_1MB.cache_bytes == 1024 * KIB
+
+    def test_with_ranks_derivation(self):
+        cfg = IRONMAN_256KB.with_ranks(4)
+        assert cfg.n_dimms == 2 and cfg.n_ranks == 4
+        assert cfg.cache_bytes == IRONMAN_256KB.cache_bytes
+
+    def test_with_ranks_rejects_odd(self):
+        with pytest.raises(ParameterError):
+            IRONMAN_256KB.with_ranks(3)
+
+    def test_with_cache_derivation(self):
+        cfg = IRONMAN_256KB.with_cache(512 * KIB)
+        assert cfg.cache_bytes == 512 * KIB
+        assert cfg.n_dimms == IRONMAN_256KB.n_dimms
+
+    def test_sram_partition(self):
+        cfg = NmpConfig(cache_bytes=256 * KIB, lookahead_sram_fraction=0.25)
+        assert cfg.line_cache_bytes <= 256 * KIB * 0.75
+        assert cfg.lookahead_rows == 256 * KIB // 4 // 16
+
+    def test_cache_config_valid_geometry(self):
+        for kb in (32, 256, 1024):
+            cfg = NmpConfig(cache_bytes=kb * KIB).cache_config()
+            assert cfg.n_sets >= 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ParameterError):
+            NmpConfig(lookahead_sram_fraction=1.5)
+
+
+class TestIsa:
+    def test_codec_roundtrip(self):
+        inst = NmpInst(Opcode.LPN_ACCUM, rank=3, addr=0xDEAD, count=1000, tag=7)
+        assert NmpInst.decode(inst.encode()) == inst
+
+    def test_wire_width(self):
+        assert len(NmpInst(Opcode.NOP, 0, 0, 0).encode()) == WIRE_BYTES == 16
+
+    def test_decode_rejects_bad_length(self):
+        with pytest.raises(ParameterError):
+            NmpInst.decode(b"\x00" * 10)
+
+    def test_rank_range_enforced(self):
+        with pytest.raises(ParameterError):
+            NmpInst(Opcode.NOP, rank=256, addr=0, count=0).encode()
+
+    def test_lpn_program_covers_all_ranks(self):
+        prog = lpn_program(n_ranks=4, accesses_per_rank=100)
+        assert len(prog) == 4
+        assert {i.rank for i in prog} == {0, 1, 2, 3}
+        assert all(i.opcode is Opcode.LPN_ACCUM for i in prog)
+
+
+class TestRankModel:
+    def test_result_fields_consistent(self):
+        res = simulate_rank_lpn(IRONMAN_256KB, P20.k, 100_000)
+        assert res.n_accesses == 100_000
+        assert 0.0 <= res.hit_rate <= 1.0
+        assert res.cycles >= res.lookup_cycles
+
+    def test_more_accesses_more_cycles(self):
+        a = simulate_rank_lpn(IRONMAN_256KB, P20.k, 100_000)
+        b = simulate_rank_lpn(IRONMAN_256KB, P20.k, 200_000)
+        assert b.cycles > a.cycles
+
+    def test_bigger_cache_higher_hit_rate(self):
+        small = simulate_rank_lpn(IRONMAN_256KB, P20.k, 150_000)
+        large = simulate_rank_lpn(IRONMAN_1MB, P20.k, 150_000)
+        assert large.hit_rate > small.hit_rate
+
+    def test_smaller_k_higher_hit_rate(self):
+        """Figure 12/14: bigger k hurts the cache."""
+        small_k = simulate_rank_lpn(IRONMAN_1MB, P20.k, 150_000)
+        large_k = simulate_rank_lpn(IRONMAN_1MB, TABLE4_BY_LABEL["2^24"].k, 150_000)
+        assert small_k.hit_rate > large_k.hit_rate
+
+    def test_sorting_improves_hit_rate(self):
+        base = simulate_rank_lpn(IRONMAN_256KB, P22.k, 150_000, sorting="none")
+        full = simulate_rank_lpn(IRONMAN_256KB, P22.k, 150_000, sorting="full")
+        assert full.hit_rate > base.hit_rate + 0.1
+        assert full.cycles < base.cycles
+
+    def test_unknown_sorting_rejected(self):
+        with pytest.raises(ParameterError):
+            simulate_rank_lpn(IRONMAN_256KB, P20.k, 10_000, sorting="bogus")
+
+    def test_rank_partition_scales_down_per_rank_work(self):
+        t2, _ = lpn_execution_seconds(IRONMAN_256KB.with_ranks(2), P20.n, P20.k)
+        t16, _ = lpn_execution_seconds(IRONMAN_256KB.with_ranks(16), P20.n, P20.k)
+        assert t16 < t2 / 4
+
+
+class TestDimmModel:
+    def test_chacha_4ary_is_paper_best(self):
+        base = spcot_execution(IRONMAN_256KB, P20, arity=2, prg_kind="aes")
+        ours = spcot_execution(IRONMAN_256KB, P20, arity=4, prg_kind="chacha8")
+        assert base.total_prg_ops / ours.total_prg_ops == pytest.approx(6.0, rel=0.02)
+
+    def test_single_dimm_slower_than_distributed(self):
+        import dataclasses
+
+        single = dataclasses.replace(IRONMAN_256KB, spcot_all_dimms=False)
+        a = spcot_execution(single, P20)
+        b = spcot_execution(IRONMAN_256KB, P20)
+        assert a.cycles > b.cycles
+        assert a.trees_per_dimm == P20.t
+
+    def test_hybrid_utilization_high(self):
+        res = spcot_execution(IRONMAN_256KB, P22, arity=4, prg_kind="chacha8")
+        assert res.utilization > 0.9
+
+
+class TestAccelerator:
+    def test_execution_breakdown(self):
+        acc = IronmanAccelerator(IRONMAN_256KB)
+        exe = acc.execution_time(P20)
+        assert exe.total_seconds >= max(exe.spcot_seconds, exe.lpn_seconds)
+        assert exe.bottleneck in ("lpn", "spcot")
+
+    def test_lpn_is_the_bottleneck_with_4ary_chacha(self):
+        """Figure 13(b): optimized SPCOT stays below LPN."""
+        acc = IronmanAccelerator(IRONMAN_256KB)
+        exe = acc.execution_time(P22, arity=4, prg_kind="chacha8")
+        assert exe.bottleneck == "lpn"
+
+    def test_latency_scales_with_total(self):
+        acc = IronmanAccelerator(IRONMAN_256KB)
+        one = acc.latency_for(P20, P20.usable_output)
+        four = acc.latency_for(P20, 4 * P20.usable_output)
+        assert four == pytest.approx(4 * one, rel=0.01)
+
+    def test_more_ranks_faster(self):
+        slow = IronmanAccelerator(IRONMAN_256KB.with_ranks(2)).latency_for(P20, 1 << 22)
+        fast = IronmanAccelerator(IRONMAN_256KB.with_ranks(16)).latency_for(P20, 1 << 22)
+        assert fast < slow / 3
+
+    def test_offload_mostly_overlapped(self):
+        acc = IronmanAccelerator(IRONMAN_256KB)
+        exe = acc.execution_time(P22)
+        assert exe.offload_exposed_seconds < exe.offload_seconds * 0.5
+
+    def test_throughput_positive(self):
+        acc = IronmanAccelerator(IRONMAN_1MB)
+        assert acc.throughput_ots(P20) > 1e8  # >100M COT/s on 16 ranks
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(ParameterError):
+            IronmanAccelerator(IRONMAN_256KB).latency_for(P20, 0)

@@ -1,0 +1,95 @@
+"""Model zoo validation against published architecture statistics."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.ppml.models import MODEL_BUILDERS, REFERENCE_PARAMS_M, build
+
+
+class TestParameterCounts:
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS), ids=str)
+    def test_params_match_published(self, name):
+        """Every model's parameter count lands within 2% of the
+        published size (ResNet-50 25.6M, BERT-Base 110M, ...)."""
+        g = build(name)
+        ref = REFERENCE_PARAMS_M[name] * 1e6
+        assert g.total_params == pytest.approx(ref, rel=0.02)
+
+
+class TestCnnStructure:
+    def test_resnet50_relu_count(self):
+        """~9.6M ReLUs at 224x224 (larger than ResNet-18's ~2.3M)."""
+        nl50 = build("ResNet50").nonlinear_counts()
+        nl18 = build("ResNet18").nonlinear_counts()
+        assert 9.0e6 < nl50["relu"] < 10.5e6
+        assert 2.0e6 < nl18["relu"] < 2.6e6
+
+    def test_resnet_macs_ordering(self):
+        macs = {n: build(n).total_macs for n in ("ResNet18", "ResNet34", "ResNet50")}
+        assert macs["ResNet18"] < macs["ResNet34"] < macs["ResNet50"]
+        assert macs["ResNet18"] == pytest.approx(1.8e9, rel=0.1)
+        assert macs["ResNet50"] == pytest.approx(4.1e9, rel=0.1)
+
+    def test_mobilenet_uses_relu6_only(self):
+        nl = build("MobileNetV2").nonlinear_counts()
+        assert "relu" not in nl
+        assert nl["relu6"] > 5e6
+
+    def test_mobilenet_macs(self):
+        assert build("MobileNetV2").total_macs == pytest.approx(0.3e9, rel=0.15)
+
+    def test_squeezenet_maxpool_heavy(self):
+        nl = build("SqueezeNet").nonlinear_counts()
+        assert nl["maxpool_cmp"] > 0.8 * nl["relu"]
+
+    def test_densenet_is_relu_heaviest_cnn(self):
+        dn = build("DenseNet121").nonlinear_counts()["relu"]
+        rn = build("ResNet50").nonlinear_counts()["relu"]
+        assert dn > rn
+
+    def test_final_shapes_are_logits(self):
+        for name in ("ResNet18", "ResNet50", "MobileNetV2", "DenseNet121"):
+            assert build(name).shape == (1000,)
+        assert build("SqueezeNet").shape == (1000,)
+
+
+class TestTransformerStructure:
+    def test_bert_base_nonlinear_mix(self):
+        nl = build("BERT-Base").nonlinear_counts()
+        assert nl["gelu"] == 12 * 128 * 4 * 768
+        assert nl["softmax"] == 12 * 12 * 128 * 128
+        # embeddings LN + 2 per block + final
+        assert nl["layernorm"] == (2 * 12 + 2) * 128 * 768
+
+    def test_larger_models_scale_nonlinearities(self):
+        base = build("BERT-Base").nonlinear_total()
+        large = build("BERT-Large").nonlinear_total()
+        assert large > 2 * base
+
+    def test_gpt2_sizes_ordered(self):
+        sizes = [build(f"GPT2-{s}").total_params for s in ("Small", "Medium", "Large")]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_vit_has_patch_embedding_macs(self):
+        g = build("ViT")
+        assert g.total_macs > 15e9  # 196 tokens x 12 blocks dominates
+
+    def test_transformer_head_divisibility_enforced(self):
+        from repro.ppml.models import transformer
+
+        with pytest.raises(ParameterError):
+            transformer("bad", 2, 100, 7, 16)
+
+
+class TestRegistry:
+    def test_build_unknown_raises(self):
+        with pytest.raises(ParameterError):
+            build("AlexNet")
+
+    def test_registry_covers_paper_models(self):
+        needed = {
+            "MobileNetV2", "SqueezeNet", "ResNet18", "ResNet34", "ResNet50",
+            "DenseNet121", "ViT", "BERT-Base", "BERT-Large",
+            "GPT2-Small", "GPT2-Medium", "GPT2-Large",
+        }
+        assert needed <= set(MODEL_BUILDERS)

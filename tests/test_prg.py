@@ -1,0 +1,132 @@
+"""Tree-PRG tests: arity semantics, call accounting, closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import blocks
+from repro.crypto.prg import (
+    AesTreePrg,
+    CHACHA_BLOCKS_PER_CALL,
+    ChaChaTreePrg,
+    expansion_calls,
+    make_tree_prg,
+)
+from repro.errors import ParameterError
+
+
+@pytest.mark.parametrize("prg_factory", [lambda m: AesTreePrg(m), lambda m: ChaChaTreePrg(m)])
+@pytest.mark.parametrize("arity", [2, 4, 8])
+class TestExpandShape:
+    def test_child_count(self, prg_factory, arity, rng):
+        prg = prg_factory(arity)
+        nodes = blocks.random_blocks(5, rng)
+        out = prg.expand(nodes, level=0)
+        assert out.shape == (5 * arity, 2)
+
+    def test_children_grouped_by_parent(self, prg_factory, arity, rng):
+        prg = prg_factory(arity)
+        nodes = blocks.random_blocks(3, rng)
+        full = prg.expand(nodes, level=1)
+        for i in range(3):
+            alone = prg_factory(arity).expand(nodes[i : i + 1], level=1)
+            assert np.array_equal(full[i * arity : (i + 1) * arity], alone)
+
+    def test_deterministic(self, prg_factory, arity, rng):
+        nodes = blocks.random_blocks(4, rng)
+        a = prg_factory(arity).expand(nodes, 2)
+        b = prg_factory(arity).expand(nodes, 2)
+        assert np.array_equal(a, b)
+
+    def test_children_are_distinct(self, prg_factory, arity, rng):
+        prg = prg_factory(arity)
+        out = prg.expand(blocks.random_blocks(1, rng), 0)
+        seen = {blocks.to_bytes(out[i : i + 1]) for i in range(arity)}
+        assert len(seen) == arity
+
+
+class TestCallAccounting:
+    def test_aes_calls_per_expand(self, rng):
+        prg = AesTreePrg(arity=4)
+        prg.expand(blocks.random_blocks(10, rng), 0)
+        assert prg.total_calls == 40
+
+    def test_chacha_calls_per_expand_4ary(self, rng):
+        prg = ChaChaTreePrg(arity=4)
+        prg.expand(blocks.random_blocks(10, rng), 0)
+        assert prg.total_calls == 10  # one 512-bit call covers 4 children
+
+    def test_chacha_calls_per_expand_8ary(self, rng):
+        prg = ChaChaTreePrg(arity=8)
+        prg.expand(blocks.random_blocks(10, rng), 0)
+        assert prg.total_calls == 20
+
+    def test_reset_counter(self, rng):
+        prg = ChaChaTreePrg(arity=2)
+        prg.expand(blocks.random_blocks(2, rng), 0)
+        prg.reset_counter()
+        assert prg.total_calls == 0
+
+    def test_chacha_2ary_wastes_half_the_call(self, rng):
+        prg = ChaChaTreePrg(arity=2)
+        prg.expand(blocks.random_blocks(6, rng), 0)
+        assert prg.total_calls == 6
+
+
+class TestClosedForm:
+    """The paper's operation counts (Section 4.1 / Figure 7(a))."""
+
+    def test_binary_aes_2l_minus_2(self):
+        assert expansion_calls(4096, 2, "aes") == 2 * 4095
+
+    def test_mary_aes_formula(self):
+        # m * (l - 1) / (m - 1)
+        assert expansion_calls(4096, 4, "aes") == 4 * 4095 // 3
+
+    def test_4ary_chacha_is_6x_cheaper_than_2ary_aes(self):
+        base = expansion_calls(4096, 2, "aes")
+        ours = expansion_calls(4096, 4, "chacha8")
+        assert base / ours == pytest.approx(6.0, rel=0.01)
+
+    def test_fig7a_4ary_reduction(self):
+        two = expansion_calls(4**6, 2, "chacha8")
+        four = expansion_calls(4**6, 4, "chacha8")
+        assert two / four == pytest.approx(2.99, rel=0.02)
+
+    def test_fig7a_32ary_reduction(self):
+        two = expansion_calls(4**6, 2, "chacha8")
+        thirty_two = expansion_calls(4**6, 32, "chacha8")
+        assert two / thirty_two == pytest.approx(3.86, rel=0.02)
+
+    @pytest.mark.parametrize("arity", [2, 4])
+    @pytest.mark.parametrize("kind", ["aes", "chacha8"])
+    def test_closed_form_matches_actual_expansion(self, arity, kind, rng):
+        depth = 3
+        prg = make_tree_prg(kind, arity)
+        nodes = blocks.random_blocks(1, rng)
+        for lvl in range(depth):
+            nodes = prg.expand(nodes, lvl)
+        assert prg.total_calls == expansion_calls(arity**depth, arity, kind)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ParameterError):
+            expansion_calls(16, 2, "des")
+
+
+class TestFactory:
+    def test_factory_kinds(self):
+        assert make_tree_prg("aes", 2).name == "aes"
+        assert make_tree_prg("chacha8", 4).name == "chacha8"
+        assert make_tree_prg("chacha20", 4).rounds == 20
+
+    def test_factory_rejects_unknown(self):
+        with pytest.raises(ParameterError):
+            make_tree_prg("sha256", 2)
+
+    def test_rejects_unary(self):
+        with pytest.raises(ParameterError):
+            AesTreePrg(arity=1)
+        with pytest.raises(ParameterError):
+            ChaChaTreePrg(arity=1)
+
+    def test_chacha_blocks_per_call_constant(self):
+        assert CHACHA_BLOCKS_PER_CALL == 4  # 512-bit output

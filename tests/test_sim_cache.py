@@ -1,0 +1,130 @@
+"""Cache simulator tests: LRU semantics, geometry, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.cache import CacheConfig, CacheSim, sampled_hit_rate
+
+
+def tiny_cache(size=512, line=64, ways=2):
+    return CacheSim(CacheConfig(size, line, ways))
+
+
+class TestGeometry:
+    def test_lines_and_sets(self):
+        cfg = CacheConfig(size_bytes=64 * 1024, line_bytes=64, ways=8)
+        assert cfg.n_lines == 1024
+        assert cfg.n_sets == 128
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ParameterError):
+            CacheConfig(size_bytes=1000, line_bytes=64, ways=8)
+
+    @pytest.mark.parametrize(
+        "kib,lat", [(32, 1), (64, 1), (128, 2), (256, 2), (512, 3), (1024, 3), (2048, 4)]
+    )
+    def test_access_latency_grows_with_capacity(self, kib, lat):
+        cfg = CacheConfig(kib * 1024, 64, 8)
+        assert cfg.access_latency_cycles() == lat
+
+
+class TestLruSemantics:
+    def test_cold_miss_then_hit(self):
+        c = tiny_cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+
+    def test_same_line_different_offsets_hit(self):
+        c = tiny_cache()
+        c.access(0)
+        assert c.access(63) is True
+        assert c.access(64) is False
+
+    def test_lru_evicts_least_recent(self):
+        # 2-way, set 0 holds lines 0 and 8 (4 sets); touch 0, 8, re-touch 0,
+        # then 16 evicts 8 (the least recently used), not 0.
+        c = tiny_cache(size=512, line=64, ways=2)  # 4 sets
+        s = c.config.n_sets
+        line = c.config.line_bytes
+        a, b, d = 0, s * line, 2 * s * line  # all map to set 0
+        c.access(a)
+        c.access(b)
+        c.access(a)  # refresh a
+        c.access(d)  # evicts b
+        assert c.access(a) is True
+        assert c.access(b) is False
+
+    def test_sets_are_independent(self):
+        c = tiny_cache(size=512, line=64, ways=2)
+        c.access(0)  # set 0
+        c.access(64)  # set 1
+        assert c.access(0) is True
+        assert c.access(64) is True
+
+    def test_stats_accumulate(self):
+        c = tiny_cache()
+        for addr in (0, 0, 64, 64, 128):
+            c.access(addr)
+        assert c.stats.accesses == 5
+        assert c.stats.hits == 2
+        assert c.stats.misses == 3
+        assert c.stats.hit_rate == pytest.approx(0.4)
+
+    def test_run_trace_matches_access_loop(self, rng):
+        addrs = rng.integers(0, 4096, 500) * 16
+        a = tiny_cache(2048, 64, 4)
+        hits_vec = a.run_trace(addrs)
+        b = tiny_cache(2048, 64, 4)
+        hits_loop = np.array([b.access(int(x)) for x in addrs])
+        assert np.array_equal(hits_vec, hits_loop)
+
+
+class TestWorkloadBehaviour:
+    def test_sequential_scan_hits_within_lines(self):
+        c = tiny_cache(size=4096, line=64, ways=4)
+        hits = c.run_trace(np.arange(0, 1024, 16))
+        # 16 blocks per access-line ratio: 1 miss + 3 hits per 64B line.
+        assert c.stats.hit_rate == pytest.approx(0.75)
+
+    def test_working_set_within_capacity_hits_after_warmup(self, rng):
+        c = tiny_cache(size=8192, line=64, ways=8)
+        addrs = np.tile(np.arange(0, 4096, 64), 10)
+        c.run_trace(addrs)
+        assert c.stats.hit_rate > 0.85
+
+    def test_thrashing_working_set_mostly_misses(self, rng):
+        c = tiny_cache(size=1024, line=64, ways=2)
+        addrs = (rng.integers(0, 10_000, 2000) * 64).astype(np.int64)
+        c.run_trace(addrs)
+        assert c.stats.hit_rate < 0.05
+
+    def test_bigger_cache_never_worse_on_loop_trace(self):
+        addrs = np.tile(np.arange(0, 64 * 256, 64), 4)
+        small = tiny_cache(size=4096, line=64, ways=8)
+        large = tiny_cache(size=32768, line=64, ways=8)
+        small.run_trace(addrs)
+        large.run_trace(addrs)
+        assert large.stats.hit_rate >= small.stats.hit_rate
+
+
+class TestSampling:
+    def test_sample_one_is_exact(self, rng):
+        addrs = (rng.integers(0, 2048, 3000) * 16).astype(np.int64)
+        cfg = CacheConfig(4096, 64, 4)
+        exact = CacheSim(cfg)
+        exact.run_trace(addrs)
+        sampled = sampled_hit_rate(cfg, addrs, set_sample=1)
+        assert sampled.hit_rate == pytest.approx(exact.stats.hit_rate)
+
+    def test_set_sampling_close_to_exact(self, rng):
+        addrs = (rng.integers(0, 8192, 20_000) * 16).astype(np.int64)
+        cfg = CacheConfig(16 * 1024, 64, 8)
+        exact = CacheSim(cfg)
+        exact.run_trace(addrs)
+        est = sampled_hit_rate(cfg, addrs, set_sample=4)
+        assert abs(est.hit_rate - exact.stats.hit_rate) < 0.05
+
+    def test_sample_validates(self):
+        with pytest.raises(ParameterError):
+            sampled_hit_rate(CacheConfig(4096, 64, 4), np.zeros(4), set_sample=0)

@@ -1,0 +1,113 @@
+"""DDR4 timing model tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.dram import (
+    DramBankSim,
+    DramGeometry,
+    DramTiming,
+    service_cycles_fast,
+    stream_bandwidth_cycles,
+)
+
+T = DramTiming()
+G = DramGeometry()
+
+
+class TestAddressMapping:
+    def test_line_interleaving_across_banks(self):
+        banks = [G.map_address(i * 64)[0] for i in range(G.n_banks)]
+        assert sorted(banks) == list(range(G.n_banks))
+
+    def test_same_row_same_bank_for_nearby_lines(self):
+        bank0, row0 = G.map_address(0)
+        bank1, row1 = G.map_address(G.n_banks * 64)  # next line, same bank
+        assert bank0 == bank1 and row0 == row1
+
+    def test_vectorized_matches_scalar(self, rng):
+        addrs = rng.integers(0, 1 << 28, 200).astype(np.int64)
+        banks, rows = G.map_addresses(addrs)
+        for i in (0, 57, 199):
+            b, r = G.map_address(int(addrs[i]))
+            assert banks[i] == b and rows[i] == r
+
+
+class TestSequentialModel:
+    def test_row_hits_faster_than_misses(self):
+        same_row = np.array([0, 64 * G.n_banks, 2 * 64 * G.n_banks], dtype=np.int64)
+        diff_row = np.array([0, G.row_bytes * G.n_banks * 2, G.row_bytes * G.n_banks * 4], dtype=np.int64)
+        sim_hit = DramBankSim().service_trace(same_row)
+        sim_miss = DramBankSim().service_trace(diff_row)
+        assert sim_hit.total_cycles < sim_miss.total_cycles
+        assert sim_hit.row_hit_rate > sim_miss.row_hit_rate
+
+    def test_bank_parallelism_beats_single_bank(self):
+        n = 32
+        row_stride = G.row_bytes * G.n_banks
+        one_bank = np.arange(n, dtype=np.int64) * row_stride  # same bank, new rows
+        spread = np.arange(n, dtype=np.int64) * (row_stride + 64)  # rotate banks
+        t_one = DramBankSim().service_trace(one_bank).total_cycles
+        t_spread = DramBankSim().service_trace(spread).total_cycles
+        assert t_spread < t_one
+
+    def test_request_count_and_latency_recorded(self, rng):
+        addrs = (rng.integers(0, 1 << 22, 100) // 64 * 64).astype(np.int64)
+        stats = DramBankSim().service_trace(addrs)
+        assert stats.requests == 100
+        assert stats.avg_latency >= T.tCL + T.tBL
+
+    def test_empty_trace(self):
+        stats = DramBankSim().service_trace(np.array([], dtype=np.int64))
+        assert stats.requests == 0
+
+
+class TestFastModel:
+    def test_empty(self):
+        assert service_cycles_fast(np.array([], dtype=np.int64)).requests == 0
+
+    def test_row_hit_classification(self):
+        # 4 accesses in one row of one bank: first misses, rest hit.
+        addrs = np.array([0, G.n_banks * 64, 2 * G.n_banks * 64, 3 * G.n_banks * 64])
+        stats = service_cycles_fast(addrs)
+        assert stats.requests == 4 and stats.row_hits == 3
+
+    def test_random_trace_mostly_row_misses(self, rng):
+        addrs = (rng.integers(0, 1 << 30, 2000) // 64 * 64).astype(np.int64)
+        stats = service_cycles_fast(addrs)
+        assert stats.row_hit_rate < 0.1
+
+    def test_tracks_sequential_model_on_shared_trace(self, rng):
+        """The vectorized throughput model stays within 2x of the exact
+        state machine on a mixed trace (it is a lower-bound style model)."""
+        addrs = (rng.integers(0, 1 << 24, 400) // 64 * 64).astype(np.int64)
+        exact = DramBankSim().service_trace(addrs).total_cycles
+        fast = service_cycles_fast(addrs).total_cycles
+        # The sequential model is a shallow-queue (latency-bound) view,
+        # the fast model a deep-queue throughput bound: fast <= exact,
+        # within an order of magnitude.
+        assert fast <= exact * 1.1
+        assert fast >= exact / 12
+
+    def test_more_requests_more_cycles(self, rng):
+        a = (rng.integers(0, 1 << 24, 500) // 64 * 64).astype(np.int64)
+        b = (rng.integers(0, 1 << 24, 2000) // 64 * 64).astype(np.int64)
+        assert service_cycles_fast(b).total_cycles > service_cycles_fast(a).total_cycles
+
+
+class TestStreaming:
+    def test_zero_bytes(self):
+        assert stream_bandwidth_cycles(0) == 0
+
+    def test_linear_in_size(self):
+        one = stream_bandwidth_cycles(1 << 20)
+        two = stream_bandwidth_cycles(2 << 20)
+        assert two == pytest.approx(2 * one, rel=0.05)
+
+    def test_streaming_beats_random_per_byte(self, rng):
+        # Random 16-byte gathers fetch a full line per block (4x traffic).
+        n_bytes = 256 * 1024
+        stream = stream_bandwidth_cycles(n_bytes)
+        random_addrs = (rng.integers(0, 1 << 28, n_bytes // 16) // 64 * 64).astype(np.int64)
+        random = service_cycles_fast(random_addrs).total_cycles
+        assert stream < random

@@ -1,0 +1,111 @@
+"""PRG pipeline + GGM expansion schedule tests (Figure 8)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.sim.pipeline import (
+    AES_STAGES,
+    CHACHA8_STAGES,
+    SCHEDULES,
+    core_stages,
+    expansion_schedule,
+    ops_per_node,
+)
+
+
+class TestOpsPerNode:
+    def test_aes_is_arity(self):
+        assert ops_per_node(4, "aes") == 4
+
+    def test_chacha_packs_four(self):
+        assert ops_per_node(4, "chacha8") == 1
+        assert ops_per_node(8, "chacha8") == 2
+        assert ops_per_node(2, "chacha8") == 1
+
+    def test_unknown_kind(self):
+        with pytest.raises(ParameterError):
+            ops_per_node(2, "md5")
+
+    def test_stage_depths(self):
+        assert core_stages("chacha8") == CHACHA8_STAGES == 8
+        assert core_stages("aes") == AES_STAGES == 10
+
+
+class TestSchedules:
+    def test_depth_first_pays_full_pipeline_per_op(self):
+        res = expansion_schedule(1, 4, 2, "chacha8", schedule="depth_first")
+        assert res.cycles == res.total_ops * CHACHA8_STAGES
+        assert res.utilization == pytest.approx(1 / CHACHA8_STAGES)
+
+    def test_breadth_first_beats_depth_first(self):
+        df = expansion_schedule(1, 6, 2, "chacha8", schedule="depth_first")
+        bf = expansion_schedule(1, 6, 2, "chacha8", schedule="breadth_first")
+        assert bf.cycles < df.cycles
+
+    def test_hybrid_beats_breadth_first_with_many_trees(self):
+        bf = expansion_schedule(16, 4, 2, "chacha8", schedule="breadth_first")
+        hy = expansion_schedule(16, 4, 2, "chacha8", schedule="hybrid")
+        assert hy.cycles < bf.cycles
+
+    def test_hybrid_reaches_full_utilization(self):
+        """Section 4.3: with t >= stages trees the pipeline never starves."""
+        res = expansion_schedule(64, 6, 4, "chacha8", schedule="hybrid")
+        assert res.utilization > 0.95
+
+    def test_hybrid_with_one_shallow_tree_underutilizes(self):
+        res = expansion_schedule(1, 2, 2, "chacha8", schedule="hybrid")
+        assert res.utilization < 0.5
+
+    def test_total_ops_matches_closed_form(self):
+        res = expansion_schedule(10, 3, 4, "chacha8", schedule="hybrid")
+        internal = 1 + 4 + 16
+        assert res.total_ops == 10 * internal  # 1 call per node for chacha/4-ary
+
+    def test_ragged_leaves_reduce_ops(self):
+        full = expansion_schedule(1, 7, 4, "chacha8", n_leaves=4**7)
+        ragged = expansion_schedule(1, 7, 4, "chacha8", n_leaves=8192)
+        assert ragged.total_ops < full.total_ops
+        # (8192 - 1) // 3 internal nodes for a 4-ary 8192-leaf tree
+        assert ragged.total_ops == sum(
+            min(4**i, -(-8192 // 4 ** (7 - i))) for i in range(7)
+        )
+
+    def test_cores_scale_throughput(self):
+        one = expansion_schedule(32, 5, 4, "chacha8", n_cores=1)
+        two = expansion_schedule(32, 5, 4, "chacha8", n_cores=2)
+        assert two.cycles < one.cycles
+        assert two.cycles >= one.cycles // 2
+
+    def test_buffer_depth_first_smallest(self):
+        df = expansion_schedule(8, 5, 2, "chacha8", schedule="depth_first")
+        bf = expansion_schedule(8, 5, 2, "chacha8", schedule="breadth_first")
+        assert df.buffer_blocks < bf.buffer_blocks
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ParameterError):
+            expansion_schedule(1, 2, 2, "aes", schedule="zigzag")
+
+    def test_bad_leaves_rejected(self):
+        with pytest.raises(ParameterError):
+            expansion_schedule(1, 2, 2, "aes", n_leaves=100)
+
+    def test_schedule_constants_exposed(self):
+        assert SCHEDULES == ("depth_first", "breadth_first", "hybrid")
+
+    def test_seconds_conversion(self):
+        res = expansion_schedule(8, 4, 4, "chacha8")
+        assert res.seconds(1e9) == pytest.approx(res.cycles / 1e9)
+
+
+class TestPaperRatios:
+    """Figure 13(a): ablation ratios are schedule-invariant op ratios."""
+
+    @pytest.mark.parametrize(
+        "arity,kind,expected",
+        [((2), "aes", 1.0), ((4), "aes", 1.5), ((2), "chacha8", 2.0), ((4), "chacha8", 6.0)],
+    )
+    def test_fig13a_speedups(self, arity, kind, expected):
+        depth = {2: 12, 4: 6}[arity]
+        base = expansion_schedule(480, 12, 2, "aes", schedule="hybrid", n_leaves=4096)
+        ours = expansion_schedule(480, depth, arity, kind, schedule="hybrid", n_leaves=4096)
+        assert base.total_ops / ours.total_ops == pytest.approx(expected, rel=0.02)

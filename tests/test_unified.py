@@ -1,0 +1,64 @@
+"""Unified unit tests: role switching, cycles, buffers (Figure 10)."""
+
+import numpy as np
+import pytest
+
+from repro.crypto import blocks
+from repro.errors import ParameterError
+from repro.nmp.unified import Role, UnifiedUnit, UnifiedUnitModel
+from repro.spcot.ggm import level_sums
+
+
+class TestModel:
+    def test_sender_pays_two_passes(self):
+        m = UnifiedUnitModel(lanes=8)
+        assert m.passes(Role.SENDER) == 2
+        assert m.passes(Role.RECEIVER) == 1
+
+    def test_level_cycles(self):
+        m = UnifiedUnitModel(lanes=8)
+        assert m.level_cycles(64, Role.RECEIVER) == 8
+        assert m.level_cycles(64, Role.SENDER) == 16
+        assert m.level_cycles(3, Role.RECEIVER) == 1  # partial lane fill
+
+    def test_tree_cycles_sum_levels(self):
+        m = UnifiedUnitModel(lanes=4)
+        expect = sum(m.level_cycles(4**i, Role.SENDER) for i in (1, 2, 3))
+        assert m.tree_cycles(3, 4, Role.SENDER) == expect
+
+    def test_sender_buffer_larger_than_receiver(self):
+        """Figure 10(b)/(c): the sender stores both key sets per level."""
+        m = UnifiedUnitModel()
+        s = m.node_buffer_blocks(6, 4, Role.SENDER)
+        r = m.node_buffer_blocks(6, 4, Role.RECEIVER)
+        assert s > r
+        assert s - r == 6  # one extra key per level
+
+    def test_lane_validation(self):
+        with pytest.raises(ParameterError):
+            UnifiedUnitModel(lanes=1)
+
+
+class TestFunctionalUnit:
+    def test_reduce_matches_level_sums(self, rng):
+        unit = UnifiedUnit(Role.SENDER)
+        nodes = blocks.random_blocks(16, rng)
+        assert np.array_equal(unit.reduce_level(nodes, 4), level_sums(nodes, 4))
+
+    def test_cycle_accounting_by_role(self, rng):
+        nodes = blocks.random_blocks(64, rng)
+        sender = UnifiedUnit(Role.SENDER)
+        receiver = UnifiedUnit(Role.RECEIVER)
+        sender.reduce_level(nodes, 2)
+        receiver.reduce_level(nodes, 2)
+        assert sender.cycles_used == 2 * receiver.cycles_used
+
+    def test_role_switching_is_free_and_effective(self, rng):
+        """Section 5.2: same hardware serves both protocol roles."""
+        unit = UnifiedUnit(Role.SENDER)
+        nodes = blocks.random_blocks(8, rng)
+        as_sender = unit.reduce_level(nodes, 2)
+        unit.switch_role(Role.RECEIVER)
+        as_receiver = unit.reduce_level(nodes, 2)
+        assert np.array_equal(as_sender, as_receiver)
+        assert unit.role is Role.RECEIVER

@@ -1,0 +1,85 @@
+"""Utility module tests (bitops, units, tables)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.bitops import (
+    digits_to_int,
+    int_to_digits,
+    log_base,
+    next_power,
+    pack_bits,
+    unpack_bits,
+)
+from repro.utils.tables import render_table
+from repro.utils.units import fmt_bytes, fmt_ratio, fmt_seconds
+
+
+class TestBitops:
+    def test_pack_unpack_roundtrip(self, rng):
+        bits = rng.integers(0, 2, 77).astype(np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(bits), 77), bits)
+
+    def test_unpack_too_few_bits(self):
+        with pytest.raises(ParameterError):
+            unpack_bits(b"\x00", 9)
+
+    def test_digits_roundtrip(self):
+        assert digits_to_int(int_to_digits(1234, 4, 7), 4) == 1234
+
+    def test_digits_width_overflow(self):
+        with pytest.raises(ParameterError):
+            int_to_digits(100, 2, 3)
+
+    def test_digit_range_check(self):
+        with pytest.raises(ParameterError):
+            digits_to_int([0, 5], 4)
+
+    @pytest.mark.parametrize("value,base,expect", [(1, 2, 1), (5, 2, 8), (16, 4, 16), (17, 4, 64)])
+    def test_next_power(self, value, base, expect):
+        assert next_power(value, base) == expect
+
+    def test_log_base_exact(self):
+        assert log_base(4096, 2) == 12
+        assert log_base(4096, 4) == 6
+
+    def test_log_base_rejects_non_power(self):
+        with pytest.raises(ParameterError):
+            log_base(100, 4)
+
+    @given(st.integers(0, 2**20), st.sampled_from([2, 4, 8]))
+    @settings(max_examples=30, deadline=None)
+    def test_property_digit_roundtrip(self, value, base):
+        digits = int_to_digits(value, base, 24)
+        assert digits_to_int(digits, base) == value
+
+
+class TestUnits:
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.00 KiB"
+        assert fmt_bytes(3 * 1024 * 1024) == "3.00 MiB"
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(1.5) == "1.500 s"
+        assert fmt_seconds(0.0021).endswith("ms")
+        assert fmt_seconds(3e-6).endswith("us")
+        assert fmt_seconds(5e-9).endswith("ns")
+
+    def test_fmt_ratio(self):
+        assert fmt_ratio(39.264) == "39.26x"
+
+
+class TestTables:
+    def test_render_alignment(self):
+        out = render_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title_included(self):
+        out = render_table(["x"], [["1"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
