@@ -1,0 +1,173 @@
+"""Sequential vs batched level-synchronous MPCOT (Figure 8's inter-tree
+parallelism, realized in software).
+
+Two comparisons at the tentpole operating point n = 2^16, t = 64:
+
+* **MPCOT alone** over fabricated COT pools: wall time, channel rounds,
+  bytes, and PRG core calls for the sequential reference vs the batched
+  schedule (outputs are bit-identical; only the schedule differs).
+* **ferret_pair end to end**: one setup plus ``EXTEND_ROUNDS`` extends,
+  the PCG usage pattern (setup runs once, extends run forever).
+
+Headline results also land in ``BENCH_mpcot_batch.json`` at the repo
+root -- machine-readable, committed, so future PRs have a perf
+trajectory to compare against.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.crypto import blocks
+from repro.crypto.prg import ChaChaTreePrg
+from repro.ferret.config import FerretConfig
+from repro.ferret.protocol import ferret_pair
+from repro.lpn.params import LpnParams
+from repro.ot.channel import run_pair
+from repro.ot.cot import CotPool, CotReceiverBatch, CotSenderBatch
+from repro.spcot.mpcot import (
+    mpcot_cots_needed,
+    mpcot_receive,
+    mpcot_send,
+    sample_alphas,
+)
+from repro.utils.tables import print_table
+
+N = 1 << 16
+T = 64
+ARITY = 4
+PRG_KIND = "chacha8"
+#: Extends per ferret_pair run: amortizes the (path-independent) base-OT
+#: setup the way real PCG deployments do.
+EXTEND_ROUNDS = 24
+
+PARAMS = LpnParams("bench-2^16", N, 1024, 128, T, 0.0)
+JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_mpcot_batch.json"
+
+
+def _make_pools(n_cots, delta, seed=99):
+    gen = np.random.default_rng(seed)
+    z = blocks.random_blocks(n_cots, gen)
+    x = gen.integers(0, 2, n_cots).astype(np.uint8)
+    y = blocks.xor(z, blocks.mul_bit(delta, x))
+    return (
+        CotPool(sender=CotSenderBatch(delta, z)),
+        CotPool(receiver=CotReceiverBatch(x, y)),
+    )
+
+
+def _run_mpcot(batched: bool) -> dict:
+    delta = blocks.random_blocks(1, np.random.default_rng(41))
+    pool_s, pool_r = _make_pools(mpcot_cots_needed(N, T, ARITY), delta)
+    prg_s, prg_r = ChaChaTreePrg(ARITY), ChaChaTreePrg(ARITY)
+    alphas = sample_alphas(N, T, np.random.default_rng(5))
+    rng = np.random.default_rng(123)
+    start = time.perf_counter()
+    w, uv, s_stats, r_stats = run_pair(
+        lambda ch: mpcot_send(ch, pool_s, delta, prg_s, N, T, rng, batched=batched),
+        lambda ch: mpcot_receive(ch, pool_r, alphas, prg_r, N, T, batched=batched),
+    )
+    wall = time.perf_counter() - start
+    assert np.all(
+        blocks.equal(w, blocks.xor(uv[1], blocks.mul_bit(delta, uv[0])))
+    ), "MPCOT invariant violated"
+    return {
+        "wall_s": wall,
+        "rounds": s_stats.rounds + r_stats.rounds,
+        "bytes": s_stats.bytes_sent + r_stats.bytes_sent,
+        "prg_calls": prg_s.total_calls + prg_r.total_calls,
+        "digest": blocks.hexdigest(w[:4]),
+    }
+
+
+def _run_ferret(batched: bool) -> dict:
+    cfg = FerretConfig(params=PARAMS, arity=ARITY, prg_kind=PRG_KIND, batched=batched)
+    start = time.perf_counter()
+    s_out, _, s_stats, r_stats = ferret_pair(cfg, rounds=EXTEND_ROUNDS, seed=7)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": wall,
+        "rounds": s_stats.rounds + r_stats.rounds,
+        "bytes": s_stats.bytes_sent + r_stats.bytes_sent,
+        "n_output": sum(len(b) for b in s_out),
+        "digest": blocks.hexdigest(s_out[-1].z[:4]),
+    }
+
+
+def test_bench_mpcot_batch(benchmark, once):
+    def run():
+        mpcot = {name: _run_mpcot(b) for name, b in
+                 [("sequential", False), ("batched", True)]}
+        ferret = {name: _run_ferret(b) for name, b in
+                  [("sequential", False), ("batched", True)]}
+        return mpcot, ferret
+
+    mpcot, ferret = once(benchmark, run)
+
+    print()
+    print_table(
+        ["path", "wall (s)", "rounds", "bytes", "PRG calls"],
+        [
+            [name, f"{r['wall_s']:.3f}", f"{r['rounds']:,}", f"{r['bytes']:,}",
+             f"{r['prg_calls']:,}"]
+            for name, r in mpcot.items()
+        ],
+        title=f"MPCOT alone (n=2^16, t={T}, {ARITY}-ary {PRG_KIND})",
+    )
+    print_table(
+        ["path", "wall (s)", "rounds", "bytes", "COTs out"],
+        [
+            [name, f"{r['wall_s']:.3f}", f"{r['rounds']:,}", f"{r['bytes']:,}",
+             f"{r['n_output']:,}"]
+            for name, r in ferret.items()
+        ],
+        title=f"ferret_pair end to end (setup + {EXTEND_ROUNDS} extends)",
+    )
+
+    mpcot_speedup = mpcot["sequential"]["wall_s"] / mpcot["batched"]["wall_s"]
+    ferret_speedup = ferret["sequential"]["wall_s"] / ferret["batched"]["wall_s"]
+    round_ratio = mpcot["sequential"]["rounds"] / mpcot["batched"]["rounds"]
+    print(
+        f"\nspeedup: mpcot {mpcot_speedup:.1f}x, ferret_pair {ferret_speedup:.1f}x, "
+        f"round reduction {round_ratio:.0f}x"
+    )
+
+    # The batched schedule must not change what is computed, only when.
+    assert mpcot["sequential"]["prg_calls"] == mpcot["batched"]["prg_calls"]
+    assert mpcot["sequential"]["digest"] == mpcot["batched"]["digest"]
+    assert ferret["sequential"]["digest"] == ferret["batched"]["digest"]
+    # Rounds collapse from O(t * depth) to O(depth).
+    assert mpcot["batched"]["rounds"] * 8 <= mpcot["sequential"]["rounds"]
+    # Tentpole acceptance: >= 5x end-to-end at n=2^16, t=64.
+    assert ferret_speedup >= 5.0, f"ferret_pair speedup only {ferret_speedup:.2f}x"
+
+    payload = {
+        "bench": "mpcot_batch",
+        "config": {
+            "n": N,
+            "t": T,
+            "arity": ARITY,
+            "prg_kind": PRG_KIND,
+            "lpn_k": PARAMS.k,
+            "extend_rounds": EXTEND_ROUNDS,
+            "machine": platform.machine(),
+        },
+        "mpcot": mpcot,
+        "ferret_pair": ferret,
+        "speedup": {
+            "mpcot_wall": mpcot_speedup,
+            "ferret_pair_wall": ferret_speedup,
+            "mpcot_rounds": round_ratio,
+        },
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {JSON_PATH}")
+
+    benchmark.extra_info["mpcot_speedup"] = mpcot_speedup
+    benchmark.extra_info["ferret_pair_speedup"] = ferret_speedup
+    benchmark.extra_info["round_reduction"] = round_ratio

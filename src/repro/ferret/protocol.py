@@ -37,11 +37,17 @@ from repro.spcot.mpcot import mpcot_receive, mpcot_send, sample_alphas
 
 @dataclass
 class ExtendStats:
-    """Per-iteration accounting surfaced to the benchmarks."""
+    """Per-iteration accounting surfaced to the benchmarks.
+
+    Every field is a delta over one ``extend()`` call (bytes and rounds
+    are snapshotted before/after, like ``prg_calls``), not a cumulative
+    channel total.
+    """
 
     n_output: int
     prg_calls: int
     bytes_sent: int
+    rounds: int
 
 
 class FerretSender:
@@ -58,6 +64,7 @@ class FerretSender:
         self._lpn_r = None  # (k, 2) blocks feeding the next LPN encode
         self._spcot_pool = None  # CotPool for SPCOT per-level OTs
         self.iterations = 0
+        self.last_stats = None
 
     def setup(self, channel: Channel) -> None:
         """One-time init: run PKC base OTs for the first iteration."""
@@ -74,6 +81,8 @@ class FerretSender:
             raise ProtocolError("setup() must run before extend()")
         cfg = self.config
         prev_calls = self.prg.total_calls
+        prev_bytes = channel.stats.bytes_sent
+        prev_rounds = channel.stats.rounds
         w = mpcot_send(
             channel,
             self._spcot_pool,
@@ -82,6 +91,7 @@ class FerretSender:
             cfg.params.n,
             cfg.params.t,
             self.rng,
+            batched=cfg.batched,
         )
         z = encode_blocks(self.matrix, self._lpn_r, w)
         reserve = cfg.base_cots_needed
@@ -93,7 +103,8 @@ class FerretSender:
         self.last_stats = ExtendStats(
             n_output=cfg.params.n - reserve,
             prg_calls=self.prg.total_calls - prev_calls,
-            bytes_sent=channel.stats.bytes_sent,
+            bytes_sent=channel.stats.bytes_sent - prev_bytes,
+            rounds=channel.stats.rounds - prev_rounds,
         )
         return CotSenderBatch(self.delta, z[reserve:])
 
@@ -112,6 +123,7 @@ class FerretReceiver:
         self._lpn_s = None  # (k, 2) blocks
         self._spcot_pool = None
         self.iterations = 0
+        self.last_stats = None
 
     def setup(self, channel: Channel) -> None:
         """One-time init, mirror of the sender's."""
@@ -129,6 +141,9 @@ class FerretReceiver:
         if self._lpn_e is None:
             raise ProtocolError("setup() must run before extend()")
         cfg = self.config
+        prev_calls = self.prg.total_calls
+        prev_bytes = channel.stats.bytes_sent
+        prev_rounds = channel.stats.rounds
         alphas = sample_alphas(cfg.params.n, cfg.params.t, self.rng)
         u, v = mpcot_receive(
             channel,
@@ -137,6 +152,7 @@ class FerretReceiver:
             self.prg,
             cfg.params.n,
             cfg.params.t,
+            batched=cfg.batched,
         )
         x = encode_bits(self.matrix, self._lpn_e, u)
         y = encode_blocks(self.matrix, self._lpn_s, v)
@@ -149,6 +165,12 @@ class FerretReceiver:
             )
         )
         self.iterations += 1
+        self.last_stats = ExtendStats(
+            n_output=cfg.params.n - reserve,
+            prg_calls=self.prg.total_calls - prev_calls,
+            bytes_sent=channel.stats.bytes_sent - prev_bytes,
+            rounds=channel.stats.rounds - prev_rounds,
+        )
         return CotReceiverBatch(x[reserve:], y[reserve:])
 
 

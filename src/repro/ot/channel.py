@@ -89,7 +89,12 @@ class Channel:
         self.send_bytes(int(value).to_bytes(width, "little"))
 
     def recv_int(self, width: int = 8) -> int:
-        return int.from_bytes(self.recv_bytes(), "little")
+        data = self.recv_bytes()
+        if len(data) != width:
+            raise ChannelError(
+                f"expected a {width}-byte integer, received {len(data)} bytes"
+            )
+        return int.from_bytes(data, "little")
 
 
 class LocalChannel(Channel):

@@ -11,7 +11,12 @@ beaver-style derandomization:
    ``z XOR (c XOR d)*Delta = z XOR b*Delta = y``).
 
 The CRHF breaks the Delta-correlation so one batch of COTs can safely
-pad many messages (tweaked by the OT index).
+pad many messages (tweaked by the OT index).  Callers that run many
+logically-distinct OT instances inside one batched call (e.g. the
+level-synchronous multi-tree SPCOT, one OT per tree) pass an explicit
+per-element ``tweaks`` vector instead of the contiguous
+``tweak_base + i`` default, so each instance keeps the tweak it would
+have used sequentially.
 """
 
 from __future__ import annotations
@@ -25,6 +30,16 @@ from repro.ot.channel import Channel
 from repro.ot.cot import CotReceiverBatch, CotSenderBatch
 
 
+def _resolve_tweaks(tweaks, tweak_base: int, n: int) -> np.ndarray:
+    """Per-element tweak vector: explicit array, or ``tweak_base + i``."""
+    if tweaks is None:
+        return np.arange(tweak_base, tweak_base + n, dtype=np.uint64)
+    tweaks = np.asarray(tweaks, dtype=np.uint64)
+    if tweaks.shape != (n,):
+        raise ProtocolError(f"tweak vector must have shape ({n},), got {tweaks.shape}")
+    return tweaks
+
+
 def ot_send_from_cot(
     channel: Channel,
     cots: CotSenderBatch,
@@ -32,6 +47,7 @@ def ot_send_from_cot(
     messages1: np.ndarray,
     tweak_base: int = 0,
     crhf: Crhf = DEFAULT_CRHF,
+    tweaks: np.ndarray = None,
 ) -> None:
     """Chosen-message OT sender using one COT per message pair."""
     blocks.require_blocks(messages0, "messages0")
@@ -42,7 +58,7 @@ def ot_send_from_cot(
     d = channel.recv_bits()
     if d.shape[0] != n:
         raise ProtocolError("correction bit vector has the wrong length")
-    tweaks = np.arange(tweak_base, tweak_base + n, dtype=np.uint64)
+    tweaks = _resolve_tweaks(tweaks, tweak_base, n)
     # Pad for logical message j is H(z XOR (j XOR d) * Delta).
     pad_d0 = crhf.hash_tweaked(
         blocks.xor(cots.z, blocks.mul_bit(cots.delta, d)), tweaks
@@ -60,6 +76,7 @@ def ot_receive_from_cot(
     choices: np.ndarray,
     tweak_base: int = 0,
     crhf: Crhf = DEFAULT_CRHF,
+    tweaks: np.ndarray = None,
 ) -> np.ndarray:
     """Chosen-message OT receiver; returns messages[choices[i]] per i."""
     choices = np.asarray(choices, dtype=np.uint8)
@@ -69,7 +86,7 @@ def ot_receive_from_cot(
     channel.send_bits(cots.x ^ choices)
     e0 = channel.recv_blocks()
     e1 = channel.recv_blocks()
-    tweaks = np.arange(tweak_base, tweak_base + n, dtype=np.uint64)
+    tweaks = _resolve_tweaks(tweaks, tweak_base, n)
     pads = crhf.hash_tweaked(cots.y, tweaks)
     chosen = np.where(choices[:, None].astype(bool), e1, e0)
     return blocks.xor(chosen, pads)

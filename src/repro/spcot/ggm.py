@@ -9,6 +9,18 @@ even/odd sums ``K_0^i, K_1^i``).  A receiver holding, at every level,
 all sums except slot ``alpha_i`` can reconstruct every leaf except the
 one at position ``alpha`` -- that reconstruction lives here too so the
 protocol module stays purely about message flow.
+
+Besides the single-tree primitives, this module carries their *batched*
+counterparts (:func:`batched_expand_full`, :func:`batched_level_sums`,
+:class:`BatchedTreeLevels`, :class:`BatchedPuncturedReconstructor`).
+MPCOT runs t independent trees, and Ironman's hybrid expansion schedule
+(Figure 8) gets its pipeline utilization exactly from that inter-tree
+parallelism: all t trees advance level-synchronously, so every PRG
+expansion operates on ``t * arity**level`` nodes at once.  The batched
+representation stores one ``(t * nodes_per_tree, 2)`` block array per
+level (tree-major: tree ``i`` owns rows ``[i * nodes_per_tree,
+(i + 1) * nodes_per_tree)``), which turns the per-level work of all t
+trees into single vectorized numpy kernels instead of ``t`` small ones.
 """
 
 from __future__ import annotations
@@ -136,3 +148,148 @@ def reconstruct_punctured(
     for known in sums_per_level:
         recon.feed_level(known)
     return recon.leaves()
+
+
+# ---------------------------------------------------------------------------
+# Batched multi-tree expansion (Figure 8's inter-tree parallelism)
+# ---------------------------------------------------------------------------
+
+
+def batched_expand_full(prg: TreePrg, seeds: np.ndarray, depth: int) -> list:
+    """Expand ``t`` seeds into all levels of ``t`` trees at once.
+
+    ``seeds`` is a ``(t, 2)`` block array; ``levels[i]`` holds all trees'
+    level-``i`` nodes as one ``(t * arity**i, 2)`` array, tree-major.
+    Because :meth:`TreePrg.expand` places the children of parent ``p`` at
+    rows ``[p * arity, (p + 1) * arity)``, tree-major layout is preserved
+    level to level, and PRG core-call counts are identical to expanding
+    the trees one by one.
+    """
+    if depth < 1:
+        raise ParameterError("tree depth must be >= 1")
+    seeds = blocks.require_blocks(np.ascontiguousarray(seeds), "seeds")
+    levels = [seeds]
+    for lvl in range(depth):
+        levels.append(prg.expand(levels[-1], lvl))
+    return levels
+
+
+def batched_level_sums(nodes: np.ndarray, arity: int, n_trees: int) -> np.ndarray:
+    """Per-tree per-slot XOR sums of one batched level, vectorized.
+
+    ``nodes`` is a ``(t * nodes_per_tree, 2)`` tree-major level; the
+    result is ``(t, arity, 2)`` where ``out[i, j]`` is tree ``i``'s XOR
+    of nodes at positions congruent to ``j`` mod ``arity`` -- one
+    ``bitwise_xor.reduce`` over a 4-d reshape, no Python loop over trees.
+    """
+    if n_trees < 1:
+        raise ParameterError("need at least one tree")
+    if nodes.shape[0] % (n_trees * arity) != 0:
+        raise ParameterError("level size must be a multiple of n_trees * arity")
+    grouped = nodes.reshape(n_trees, -1, arity, 2)
+    return np.bitwise_xor.reduce(grouped, axis=1)
+
+
+class BatchedTreeLevels:
+    """Sender-side view of ``t`` same-depth trees expanded together.
+
+    Thin convenience over :func:`batched_expand_full` that exposes the
+    per-level slot sums and the final per-tree leaf matrix the batched
+    SPCOT sender needs.
+    """
+
+    def __init__(self, prg: TreePrg, seeds: np.ndarray, depth: int):
+        self.prg = prg
+        self.arity = prg.arity
+        self.depth = depth
+        self.n_trees = np.ascontiguousarray(seeds).shape[0]
+        self.levels = batched_expand_full(prg, seeds, depth)
+
+    def sums(self, level: int) -> np.ndarray:
+        """``(t, arity, 2)`` slot sums of level ``level`` (1-based)."""
+        if not 1 <= level <= self.depth:
+            raise ParameterError(f"level {level} out of range [1, {self.depth}]")
+        return batched_level_sums(self.levels[level], self.arity, self.n_trees)
+
+    def leaves(self) -> np.ndarray:
+        """All leaves as a ``(t, arity**depth, 2)`` per-tree matrix."""
+        return self.levels[-1].reshape(self.n_trees, -1, 2)
+
+
+class BatchedPuncturedReconstructor:
+    """Receiver-side level-synchronous reconstruction of ``t`` trees.
+
+    The batched analogue of :class:`PuncturedReconstructor`: all trees
+    advance one level per :meth:`feed_level` call, carried as a single
+    tree-major block array, with the per-tree holes tracked as an index
+    vector.  ``digits`` is a ``(t, depth)`` int array of per-tree
+    punctured digits (big-endian, as from :func:`alpha_digits`).
+    """
+
+    def __init__(self, prg: TreePrg, depth: int, digits: np.ndarray):
+        self.prg = prg
+        self.arity = prg.arity
+        self.depth = depth
+        self.digits = np.asarray(digits, dtype=np.int64)
+        if self.digits.ndim != 2 or self.digits.shape[1] != depth:
+            raise ParameterError("digits must be a (n_trees, depth) array")
+        if self.digits.shape[0] < 1:
+            raise ParameterError("need at least one tree")
+        if np.any((self.digits < 0) | (self.digits >= self.arity)):
+            raise ParameterError(f"digits must lie in [0, {self.arity})")
+        self.n_trees = self.digits.shape[0]
+        self.level = 0
+        self.nodes = None
+        self.holes = None
+
+    def feed_level(self, sums: np.ndarray) -> None:
+        """Consume level ``self.level + 1`` from per-tree slot sums.
+
+        Args:
+            sums: ``(t, arity, 2)`` array; row ``[i, j]`` is tree ``i``'s
+                slot-``j`` sum.  The entry at each tree's punctured digit
+                is ignored (the OT never delivers it, so callers may
+                leave garbage there).
+        """
+        m = self.arity
+        t = self.n_trees
+        sums = np.asarray(sums, dtype=blocks.BLOCK_DTYPE)
+        if sums.shape != (t, m, 2):
+            raise ParameterError(f"sums must have shape ({t}, {m}, 2), got {sums.shape}")
+        if self.level >= self.depth:
+            raise ParameterError("all levels have already been fed")
+        digit = self.digits[:, self.level]
+        tree_ids = np.arange(t)
+        if self.level == 0:
+            nodes = sums.reshape(t * m, 2).copy()
+            nodes[tree_ids * m + digit] = 0
+            self.nodes = nodes
+            self.holes = digit.copy()
+        else:
+            per_tree = m**self.level
+            children = self.prg.expand(self.nodes, self.level)
+            # Each hole parent expanded a zero stand-in; blank its children
+            # so the vectorized slot sums below cover only known nodes.
+            hole_parents = tree_ids * per_tree + self.holes
+            child_rows = hole_parents[:, None] * m + np.arange(m)[None, :]
+            children[child_rows.ravel()] = 0
+            partial = batched_level_sums(children, m, t)
+            children[child_rows.ravel()] = blocks.xor(sums, partial).reshape(t * m, 2)
+            children[hole_parents * m + digit] = 0
+            self.nodes = children
+            self.holes = self.holes * m + digit
+        self.level += 1
+
+    @property
+    def done(self) -> bool:
+        return self.level == self.depth
+
+    def leaves(self) -> tuple:
+        """Return ``((t, leaves, 2)`` per-tree leaves, ``(t,)`` holes).
+
+        Each tree's hole leaf is zero-filled, exactly like the
+        single-tree reconstructor.
+        """
+        if not self.done:
+            raise ParameterError("tree reconstruction is not finished")
+        return self.nodes.reshape(self.n_trees, -1, 2), self.holes

@@ -9,6 +9,16 @@ both parties identically.
 
 The t trees are independent, which is exactly the inter-tree
 parallelism Ironman's hybrid expansion schedule exploits (Figure 8).
+The default execution path exploits it too: same-depth trees are
+grouped into contiguous runs (regular noise makes the block sizes
+differ by at most one, so there are at most two runs per execution)
+and each run goes through the **batched level-synchronous** SPCOT --
+all trees of the run advance one GGM level per interaction, with one
+channel message per level instead of one per tree per level.  That
+drops the per-execution round count from O(t * depth) to O(depth)
+while leaving outputs and PRG core-call counts bit-for-bit identical
+to the sequential reference path (``batched=False``), which is kept
+as an oracle for equivalence tests.
 """
 
 from __future__ import annotations
@@ -21,7 +31,13 @@ from repro.crypto.prg import TreePrg
 from repro.errors import ParameterError
 from repro.ot.channel import Channel
 from repro.ot.cot import CotPool
-from repro.spcot.protocol import cots_needed, spcot_receive, spcot_send
+from repro.spcot.protocol import (
+    cots_needed,
+    spcot_receive,
+    spcot_receive_batch,
+    spcot_send,
+    spcot_send_batch,
+)
 from repro.utils.bitops import next_power
 
 #: Tweak-space stride reserved per tree (holds all of its level tweaks).
@@ -61,6 +77,47 @@ def sample_alphas(n: int, t: int, rng: np.random.Generator) -> np.ndarray:
     )
 
 
+def depth_runs(sizes: list, arity: int) -> list:
+    """Group trees into contiguous runs of equal GGM depth.
+
+    Returns ``(first_tree, n_trees, depth)`` triples.  Regular noise
+    splits [0, n) into blocks whose sizes differ by at most one, with
+    the larger blocks first, so there are at most two runs -- the
+    batched path handles one whole run per level-synchronous sweep.
+    """
+    runs = []
+    for idx, size in enumerate(sizes):
+        depth = tree_depth_for(size, arity)
+        if runs and runs[-1][2] == depth:
+            runs[-1][1] += 1
+        else:
+            runs.append([idx, 1, depth])
+    return [tuple(r) for r in runs]
+
+
+def _batched_schedule(sizes: list, arity: int) -> tuple:
+    """Shared sender/receiver plan for the batched path.
+
+    Returns ``(offsets, runs)`` where ``offsets[i]`` is tree i's start
+    in the length-n output and ``runs`` holds ``(first, count, depth,
+    tweak_bases)`` per same-depth run.  Both parties must derive the
+    identical per-tree tweak schedule from this single place -- a
+    desync would silently garble the OT pads.
+    """
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+    runs = [
+        (
+            first,
+            count,
+            depth,
+            np.arange(first, first + count, dtype=np.uint64)
+            * np.uint64(_TREE_TWEAK_STRIDE),
+        )
+        for first, count, depth in depth_runs(sizes, arity)
+    ]
+    return offsets, runs
+
+
 def mpcot_send(
     channel: Channel,
     pool: CotPool,
@@ -70,10 +127,28 @@ def mpcot_send(
     t: int,
     rng: np.random.Generator,
     crhf: Crhf = DEFAULT_CRHF,
+    batched: bool = True,
 ) -> np.ndarray:
-    """Sender side: returns the length-n block vector ``w``."""
+    """Sender side: returns the length-n block vector ``w``.
+
+    ``batched=True`` (the default) runs each same-depth run of trees
+    level-synchronously; ``batched=False`` is the sequential reference.
+    Both produce bit-identical outputs from the same ``rng`` state.
+    """
     sizes = block_sizes(n, t)
     out = blocks.zeros(n)
+    if batched:
+        offsets, runs = _batched_schedule(sizes, prg.arity)
+        for first, count, depth, tweak_bases in runs:
+            leaves = spcot_send_batch(
+                channel, pool, delta, prg, depth, count, rng,
+                tweak_bases=tweak_bases, crhf=crhf,
+            )
+            for i in range(count):
+                size = sizes[first + i]
+                start = offsets[first + i]
+                out[start : start + size] = leaves[i, :size]
+        return out
     offset = 0
     for tree_idx, size in enumerate(sizes):
         depth = tree_depth_for(size, prg.arity)
@@ -100,25 +175,40 @@ def mpcot_receive(
     n: int,
     t: int,
     crhf: Crhf = DEFAULT_CRHF,
+    batched: bool = True,
 ) -> tuple:
     """Receiver side: returns (u, v) with u one-hot per block.
 
     ``u`` is the length-n 0/1 noise vector (t set bits at the global
     puncture positions); ``v`` the length-n block vector satisfying
-    ``w = v XOR u * Delta``.
+    ``w = v XOR u * Delta``.  ``batched`` must match the sender's.
     """
     sizes = block_sizes(n, t)
     alphas = np.asarray(alphas, dtype=np.int64)
     if alphas.shape[0] != t:
         raise ParameterError(f"need {t} puncture positions, got {alphas.shape[0]}")
-    u = np.zeros(n, dtype=np.uint8)
-    v = blocks.zeros(n)
-    offset = 0
     for tree_idx, size in enumerate(sizes):
         if not 0 <= alphas[tree_idx] < size:
             raise ParameterError(
                 f"alpha[{tree_idx}]={alphas[tree_idx]} outside its block of size {size}"
             )
+    u = np.zeros(n, dtype=np.uint8)
+    v = blocks.zeros(n)
+    if batched:
+        offsets, runs = _batched_schedule(sizes, prg.arity)
+        for first, count, depth, tweak_bases in runs:
+            run_v, _ = spcot_receive_batch(
+                channel, pool, alphas[first : first + count], prg, depth,
+                tweak_bases=tweak_bases, crhf=crhf,
+            )
+            for i in range(count):
+                size = sizes[first + i]
+                start = offsets[first + i]
+                v[start : start + size] = run_v[i, :size]
+                u[start + alphas[first + i]] = 1
+        return u, v
+    offset = 0
+    for tree_idx, size in enumerate(sizes):
         depth = tree_depth_for(size, prg.arity)
         leaves = spcot_receive(
             channel,

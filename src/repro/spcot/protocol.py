@@ -22,6 +22,16 @@ build it from an m-leaf binary GGM "key tree": its punctured transfer
 (consuming log2(m) base COTs) hands the receiver every key-tree leaf
 ``q_j`` except ``q_{alpha_i}``, and the sender broadcasts the sums
 masked as ``K_j XOR H(q_j)``.
+
+:func:`spcot_send_batch` / :func:`spcot_receive_batch` run ``t``
+same-depth instances *level-synchronously* (the software analogue of
+Figure 8's inter-tree parallelism): per level, all ``t`` derandomized
+OTs collapse into one batched OT over ``t`` pooled COTs and **one**
+channel message per flow direction, so the round count is O(depth)
+instead of O(t * depth), while the GGM work becomes t-wide vectorized
+kernels.  The per-instance tweak schedule is identical to the
+sequential path's (per-tree stride + per-level stride), carried as
+explicit tweak vectors through the batched OT.
 """
 
 from __future__ import annotations
@@ -36,8 +46,12 @@ from repro.ot.channel import Channel
 from repro.ot.cot import CotPool
 from repro.ot.ot_from_cot import ot_receive_from_cot, ot_send_from_cot
 from repro.spcot.ggm import (
+    BatchedPuncturedReconstructor,
+    BatchedTreeLevels,
     PuncturedReconstructor,
     alpha_digits,
+    batched_expand_full,
+    batched_level_sums,
     expand_full,
     level_sums,
 )
@@ -161,3 +175,175 @@ def spcot_receive(
     # v[hole] is currently zero, so the reduce covers exactly the known leaves.
     v[hole] = blocks.xor(psi, blocks.xor_reduce(v)).reshape(2)
     return v
+
+
+# ---------------------------------------------------------------------------
+# Batched level-synchronous multi-tree SPCOT
+# ---------------------------------------------------------------------------
+
+
+def _resolve_tweak_bases(tweak_bases, n_trees: int) -> np.ndarray:
+    if tweak_bases is None:
+        return np.zeros(n_trees, dtype=np.uint64)
+    tweak_bases = np.asarray(tweak_bases, dtype=np.uint64)
+    if tweak_bases.shape != (n_trees,):
+        raise ParameterError(
+            f"tweak_bases must have shape ({n_trees},), got {tweak_bases.shape}"
+        )
+    return tweak_bases
+
+
+def _batch_seeds(
+    rng: np.random.Generator, n_trees: int, depth: int, arity: int
+) -> tuple:
+    """Draw (main seeds, per-level key-tree seeds) for a batch of trees.
+
+    Randomness is consumed in the exact order the sequential path uses
+    (tree-major: main seed, then one key-tree seed per level), so a
+    batched run over the same ``rng`` state produces bit-identical trees.
+    """
+    if arity == 2:
+        return blocks.random_blocks(n_trees, rng), None
+    raw = blocks.random_blocks(n_trees * (1 + depth), rng).reshape(n_trees, 1 + depth, 2)
+    return np.ascontiguousarray(raw[:, 0]), raw
+
+
+def spcot_send_batch(
+    channel: Channel,
+    pool: CotPool,
+    delta: np.ndarray,
+    prg: TreePrg,
+    depth: int,
+    n_trees: int,
+    rng: np.random.Generator,
+    tweak_bases: np.ndarray = None,
+    crhf: Crhf = DEFAULT_CRHF,
+) -> np.ndarray:
+    """Run ``n_trees`` same-depth SPCOT instances level-synchronously.
+
+    Per level this takes ``n_trees`` pooled COTs at once and runs one
+    batched derandomized OT covering every tree, ending with a single
+    batched psi broadcast -- O(depth) channel rounds total.  Returns the
+    per-tree leaf matrix ``(n_trees, arity**depth, 2)``.
+    """
+    m = prg.arity
+    t = n_trees
+    if t < 1:
+        raise ParameterError("need at least one tree")
+    tweak_bases = _resolve_tweak_bases(tweak_bases, t)
+    seeds, kt_seeds = _batch_seeds(rng, t, depth, m)
+    trees = BatchedTreeLevels(prg, seeds, depth)
+    for level_idx in range(1, depth + 1):
+        sums = trees.sums(level_idx)  # (t, m, 2)
+        level_tweaks = tweak_bases + np.uint64(level_idx * _LEVEL_TWEAK_STRIDE)
+        if m == 2:
+            cot = pool.take_sender(t)
+            ot_send_from_cot(
+                channel, cot, sums[:, 0], sums[:, 1], tweaks=level_tweaks, crhf=crhf
+            )
+        else:
+            kt_depth = _key_tree_depth(m)
+            kt_levels = batched_expand_full(
+                _KEY_TREE_PRG, kt_seeds[:, level_idx], kt_depth
+            )
+            for kt_level in range(1, kt_depth + 1):
+                kt_sums = batched_level_sums(kt_levels[kt_level], 2, t)
+                cot = pool.take_sender(t)
+                ot_send_from_cot(
+                    channel,
+                    cot,
+                    kt_sums[:, 0],
+                    kt_sums[:, 1],
+                    tweaks=level_tweaks + np.uint64(kt_level),
+                    crhf=crhf,
+                )
+            keys = kt_levels[-1]  # (t * m, 2) one-time keys q_j, tree-major
+            mask_tweaks = np.repeat(level_tweaks + np.uint64(32), m) + np.tile(
+                np.arange(m, dtype=np.uint64), t
+            )
+            channel.send_blocks(
+                blocks.xor(sums.reshape(t * m, 2), crhf.hash_tweaked(keys, mask_tweaks))
+            )
+    leaves = trees.leaves()  # (t, l, 2)
+    psi = blocks.xor(delta, np.bitwise_xor.reduce(leaves, axis=1))
+    channel.send_blocks(psi)
+    return leaves
+
+
+def spcot_receive_batch(
+    channel: Channel,
+    pool: CotPool,
+    alphas: np.ndarray,
+    prg: TreePrg,
+    depth: int,
+    tweak_bases: np.ndarray = None,
+    crhf: Crhf = DEFAULT_CRHF,
+) -> tuple:
+    """Receiver side of :func:`spcot_send_batch`.
+
+    Returns ``(v, holes)``: the per-tree vectors ``(t, arity**depth, 2)``
+    with each tree's alpha slot fixed up, and the per-tree hole indices.
+    """
+    m = prg.arity
+    alphas = np.asarray(alphas, dtype=np.int64)
+    t = alphas.shape[0]
+    if t < 1:
+        raise ParameterError("need at least one tree")
+    tweak_bases = _resolve_tweak_bases(tweak_bases, t)
+    digits = np.array([alpha_digits(int(a), m, depth) for a in alphas], dtype=np.int64)
+    recon = BatchedPuncturedReconstructor(prg, depth, digits)
+    tree_ids = np.arange(t)
+    for level_idx in range(1, depth + 1):
+        digit = digits[:, level_idx - 1]
+        level_tweaks = tweak_bases + np.uint64(level_idx * _LEVEL_TWEAK_STRIDE)
+        if m == 2:
+            cot = pool.take_receiver(t)
+            choices = (1 - digit).astype(np.uint8)
+            known = ot_receive_from_cot(
+                channel, cot, choices, tweaks=level_tweaks, crhf=crhf
+            )
+            sums = np.zeros((t, 2, 2), dtype=blocks.BLOCK_DTYPE)
+            sums[tree_ids, 1 - digit] = known
+            recon.feed_level(sums)
+        else:
+            kt_depth = _key_tree_depth(m)
+            kt_digits = np.array(
+                [alpha_digits(int(d), 2, kt_depth) for d in digit], dtype=np.int64
+            )
+            kt_recon = BatchedPuncturedReconstructor(_KEY_TREE_PRG, kt_depth, kt_digits)
+            for kt_level in range(1, kt_depth + 1):
+                kt_digit = kt_digits[:, kt_level - 1]
+                cot = pool.take_receiver(t)
+                choices = (1 - kt_digit).astype(np.uint8)
+                known = ot_receive_from_cot(
+                    channel,
+                    cot,
+                    choices,
+                    tweaks=level_tweaks + np.uint64(kt_level),
+                    crhf=crhf,
+                )
+                kt_sums = np.zeros((t, 2, 2), dtype=blocks.BLOCK_DTYPE)
+                kt_sums[tree_ids, 1 - kt_digit] = known
+                kt_recon.feed_level(kt_sums)
+            keys, _ = kt_recon.leaves()  # (t, m, 2); hole keys are zero
+            masked = channel.recv_blocks()  # (t * m, 2)
+            if masked.shape[0] != t * m:
+                raise ParameterError("masked sums message has the wrong length")
+            mask_tweaks = np.repeat(level_tweaks + np.uint64(32), m) + np.tile(
+                np.arange(m, dtype=np.uint64), t
+            )
+            unmasked = blocks.xor(
+                masked, crhf.hash_tweaked(keys.reshape(t * m, 2), mask_tweaks)
+            ).reshape(t, m, 2)
+            # Each tree's punctured slot unmasks with a zero key and is
+            # garbage; the reconstructor ignores that entry by contract.
+            recon.feed_level(unmasked)
+    v, holes = recon.leaves()
+    psi = channel.recv_blocks()  # (t, 2)
+    if psi.shape[0] != t:
+        raise ParameterError("psi broadcast has the wrong length")
+    # Hole slots are zero, so the per-tree reduce covers exactly the
+    # known leaves of each tree.
+    known_xor = np.bitwise_xor.reduce(v, axis=1)
+    v[tree_ids, holes] = blocks.xor(psi, known_xor)
+    return v, holes

@@ -31,6 +31,23 @@ class TestLocalChannel:
         a.send_int(123456789)
         assert b.recv_int() == 123456789
 
+    def test_roundtrip_int_narrow_width(self):
+        a, b = LocalChannel.pair()
+        a.send_int(77, width=2)
+        assert b.recv_int(width=2) == 77
+
+    def test_recv_int_width_mismatch_raises(self):
+        a, b = LocalChannel.pair()
+        a.send_int(5, width=4)
+        with pytest.raises(ChannelError, match="4 bytes"):
+            b.recv_int(width=8)
+
+    def test_recv_int_rejects_arbitrary_payload(self):
+        a, b = LocalChannel.pair()
+        a.send_bytes(b"not-eight-bytes!")
+        with pytest.raises(ChannelError):
+            b.recv_int()
+
     def test_fifo_order(self):
         a, b = LocalChannel.pair()
         a.send_bytes(b"1")

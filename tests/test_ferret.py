@@ -6,8 +6,10 @@ import pytest
 from repro.errors import ProtocolError
 from repro.ferret.config import FerretConfig
 from repro.ferret.protocol import FerretReceiver, FerretSender, ferret_pair
-from repro.lpn.params import scaled_params
+from repro.lpn.params import LpnParams, scaled_params
+from repro.ot.channel import run_pair
 from repro.ot.cot import verify_cot
+from repro.utils.bitops import log_base
 
 SMALL = FerretConfig.small(scale=1024, arity=4, prg_kind="chacha8")
 
@@ -81,6 +83,87 @@ class TestProtocol:
         # ferret_pair drives FerretSender internally; re-run tiny to check
         s_out, r_out, _, _ = ferret_pair(SMALL, rounds=1, seed=3)
         assert verify_cot(s_out[0], r_out[0])
+
+
+def run_ferret_session(config, rounds=1, seed=7):
+    """Like ferret_pair but also hands back the party objects."""
+    sender = FerretSender(config, seed=seed)
+    receiver = FerretReceiver(config, seed=seed + 1)
+
+    def run_sender(channel):
+        sender.setup(channel)
+        return [sender.extend(channel) for _ in range(rounds)]
+
+    def run_receiver(channel):
+        receiver.setup(channel)
+        return [receiver.extend(channel) for _ in range(rounds)]
+
+    s_out, r_out, s_stats, r_stats = run_pair(run_sender, run_receiver)
+    return sender, receiver, s_out, r_out, s_stats, r_stats
+
+
+class TestExtendStats:
+    #: t deliberately much larger than the GGM depth so O(t * depth) and
+    #: O(depth) round counts are far apart.
+    ROUND_PARAMS = LpnParams("round-test", 2048, 64, 32, 32, 0.0)
+
+    def test_bytes_sent_is_per_iteration_delta(self):
+        """bytes_sent must snapshot per extend, not report channel totals."""
+        cfg = FerretConfig(params=self.ROUND_PARAMS, arity=4, prg_kind="chacha8")
+        sender, receiver, _, _, s_stats, _ = run_ferret_session(cfg, rounds=2)
+        # Cumulative channel bytes include setup, so a per-iteration delta
+        # must be strictly smaller than the session total.
+        assert sender.last_stats.bytes_sent < s_stats.bytes_sent
+        assert receiver.last_stats.bytes_sent < s_stats.bytes_received
+        assert sender.last_stats.bytes_sent > 0
+        assert receiver.last_stats.bytes_sent > 0
+
+    def test_receiver_has_last_stats_like_sender(self):
+        cfg = FerretConfig(params=self.ROUND_PARAMS, arity=4, prg_kind="chacha8")
+        sender, receiver, _, _, _, _ = run_ferret_session(cfg)
+        for stats in (sender.last_stats, receiver.last_stats):
+            assert stats.n_output == cfg.params.n - cfg.base_cots_needed
+            assert stats.prg_calls > 0
+            assert stats.rounds > 0
+
+    @pytest.mark.parametrize("arity", [2, 4])
+    def test_extend_rounds_scale_with_depth_not_t(self, arity):
+        """Regression guard for the batched schedule: per-extend channel
+        rounds are O(depth * log2(arity)), independent of t."""
+        params = self.ROUND_PARAMS
+        cfg = FerretConfig(params=params, arity=arity, prg_kind="chacha8")
+        sender, receiver, _, _, _, _ = run_ferret_session(cfg)
+        depth = log_base(params.tree_leaves(arity), arity)
+        bits_per_level = log_base(arity, 2)
+        # Each binary OT flips direction twice; allow a small constant for
+        # the psi broadcast, masked sums, and at most two depth runs.
+        bound = 2 * (2 * depth * bits_per_level + 4)
+        seq_scale = params.t * depth  # what the sequential path would pay
+        for stats in (sender.last_stats, receiver.last_stats):
+            assert stats.rounds <= bound
+            assert stats.rounds < seq_scale / 4
+
+    def test_sequential_path_still_pays_per_tree_rounds(self):
+        """The oracle keeps its O(t * depth) shape -- proving the batched
+        default is what removed the factor of t."""
+        params = self.ROUND_PARAMS
+        cfg = FerretConfig(
+            params=params, arity=4, prg_kind="chacha8", batched=False
+        )
+        sender, _, _, _, _, _ = run_ferret_session(cfg)
+        depth = log_base(params.tree_leaves(4), 4)
+        assert sender.last_stats.rounds >= params.t * depth
+
+    def test_batched_and_sequential_outputs_match(self):
+        cfg_b = FerretConfig(params=self.ROUND_PARAMS, arity=4, prg_kind="chacha8")
+        cfg_s = FerretConfig(
+            params=self.ROUND_PARAMS, arity=4, prg_kind="chacha8", batched=False
+        )
+        _, _, sb, rb, _, _ = run_ferret_session(cfg_b, seed=21)
+        _, _, ss, rs, _, _ = run_ferret_session(cfg_s, seed=21)
+        assert np.array_equal(sb[0].z, ss[0].z)
+        assert np.array_equal(rb[0].x, rs[0].x)
+        assert np.array_equal(rb[0].y, rs[0].y)
 
 
 class TestVariants:
