@@ -25,10 +25,13 @@ Quick start::
 """
 
 from repro.errors import (
+    ChannelClosed,
     ChannelError,
+    ChannelTimeout,
     ParameterError,
     ProtocolError,
     ReproError,
+    ServiceError,
     SimulationError,
 )
 from repro.ferret.config import FerretConfig
@@ -36,13 +39,18 @@ from repro.ferret.protocol import FerretReceiver, FerretSender, ferret_pair
 from repro.lpn.params import LpnParams, TABLE4, TABLE4_BY_LABEL
 from repro.nmp.accelerator import IronmanAccelerator
 from repro.nmp.config import IRONMAN_1MB, IRONMAN_256KB, NmpConfig
+from repro.ot.channel import LocalChannel, SocketChannel, run_pair
 from repro.ot.cot import CotReceiverBatch, CotSenderBatch, verify_cot
 from repro.core.ironman import IronmanSystem, table5_rows
+from repro.runtime import CorrelationService, MuxChannel, ServiceTuning
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChannelClosed",
     "ChannelError",
+    "ChannelTimeout",
+    "CorrelationService",
     "CotReceiverBatch",
     "CotSenderBatch",
     "FerretConfig",
@@ -52,15 +60,21 @@ __all__ = [
     "IRONMAN_256KB",
     "IronmanAccelerator",
     "IronmanSystem",
+    "LocalChannel",
     "LpnParams",
+    "MuxChannel",
     "NmpConfig",
     "ParameterError",
     "ProtocolError",
     "ReproError",
+    "ServiceError",
+    "ServiceTuning",
     "SimulationError",
+    "SocketChannel",
     "TABLE4",
     "TABLE4_BY_LABEL",
     "ferret_pair",
+    "run_pair",
     "table5_rows",
     "verify_cot",
     "__version__",

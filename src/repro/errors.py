@@ -17,5 +17,17 @@ class ChannelError(ReproError):
     """A channel was used out of order (e.g. recv on an empty queue)."""
 
 
+class ChannelTimeout(ChannelError):
+    """A blocking receive expired before the peer's message arrived."""
+
+
+class ChannelClosed(ChannelError):
+    """The peer closed the connection (or the channel was shut down)."""
+
+
 class SimulationError(ReproError):
     """A hardware simulation was driven into an inconsistent state."""
+
+
+class ServiceError(ReproError):
+    """The correlation provisioning runtime failed or was shut down."""

@@ -18,6 +18,23 @@ from repro.ot.channel import Channel
 from repro.ot.cot import CotPool
 
 
+def _max_from_relu(a: ArithmeticShares, b: ArithmeticShares, relu_fn) -> ArithmeticShares:
+    """``max(a, b) = b + ReLU(a - b)``: the ring arithmetic around any
+    ReLU evaluation (inline pools or service-drawn)."""
+    if a.bits != b.bits or len(a) != len(b):
+        raise ParameterError("secure max needs aligned share vectors")
+    mask = np.uint64(ring_mask(a.bits))
+    diff = ArithmeticShares(
+        ((a.values.astype(np.uint64) - b.values.astype(np.uint64)) & mask).astype(
+            a.values.dtype
+        ),
+        a.bits,
+    )
+    relu_diff, _ = relu_fn(diff)
+    out = (b.values.astype(np.uint64) + relu_diff.values.astype(np.uint64)) & mask
+    return ArithmeticShares(out.astype(a.values.dtype), a.bits)
+
+
 def max_pair(
     channel: Channel,
     a: ArithmeticShares,
@@ -34,17 +51,25 @@ def max_pair(
     Consumes one comparison's worth of COTs/triples plus one mux --
     exactly the per-element cost MaxPool layers are priced at.
     """
-    if a.bits != b.bits or len(a) != len(b):
-        raise ParameterError("max_pair needs aligned share vectors")
-    mask = np.uint64(ring_mask(a.bits))
-    diff = ArithmeticShares(
-        ((a.values.astype(np.uint64) - b.values.astype(np.uint64)) & mask).astype(
-            a.values.dtype
+    return _max_from_relu(
+        a,
+        b,
+        lambda diff: relu_pair(
+            channel, diff, cmp_pool, send_pool, recv_pool, triples, rng, party
         ),
-        a.bits,
     )
-    relu_diff, _ = relu_pair(
-        channel, diff, cmp_pool, send_pool, recv_pool, triples, rng, party
-    )
-    out = (b.values.astype(np.uint64) + relu_diff.values.astype(np.uint64)) & mask
-    return ArithmeticShares(out.astype(a.values.dtype), a.bits)
+
+
+def max_via_service(
+    session, a: ArithmeticShares, b: ArithmeticShares, rng
+) -> ArithmeticShares:
+    """Secure elementwise max drawing correlations from a service session.
+
+    The ReLU side draws its comparison COTs, mux COTs (both
+    directions), and triples from the shared provisioning pools, so
+    MaxPool windows run as just another consumer session next to ReLU
+    and triple traffic.
+    """
+    from repro.mpc.relu import relu_via_service
+
+    return _max_from_relu(a, b, lambda diff: relu_via_service(session, diff, rng))

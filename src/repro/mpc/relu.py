@@ -124,3 +124,34 @@ def relu_pair(
     d = drelu_pair(channel, shares, cmp_pool, triples, rng, party)
     y = _mux_party(channel, d, shares, send_pool, recv_pool, rng, party)
     return y, d
+
+
+def relu_via_service(session, shares: ArithmeticShares, rng) -> tuple:
+    """ReLU drawing every correlation from a provisioning-service session.
+
+    Instead of hand-building COT pools and pre-generating triples (the
+    inline-Ferret pattern of the examples), both parties draw from the
+    shared :class:`repro.runtime.service.CorrelationService` pools and
+    run the unchanged :func:`relu_pair` over the session's sub-channel.
+    The draw sequence below is identical on both sides, which is what
+    keeps the two parties' correlations aligned.
+    """
+    from repro.mpc.compare import cots_needed, triples_needed
+    from repro.mpc.triples import triples_via_service
+
+    n = len(shares)
+    n_cmp = cots_needed(n, shares.bits - 1)
+    n_tri = triples_needed(n, shares.bits - 1)
+    party = session.party
+    if party == 0:
+        cmp_pool = session.sender_cot_pool(n_cmp)  # P0 sends the level OTs
+        send_pool = session.sender_cot_pool(n)
+        recv_pool = session.receiver_cot_pool(n)
+    else:
+        cmp_pool = session.receiver_cot_pool(n_cmp)
+        recv_pool = session.receiver_cot_pool(n)  # pairs P0's sender draw
+        send_pool = session.sender_cot_pool(n)
+    triples = triples_via_service(session, n_tri)
+    return relu_pair(
+        session.channel, shares, cmp_pool, send_pool, recv_pool, triples, rng, party
+    )

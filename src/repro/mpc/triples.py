@@ -105,6 +105,17 @@ def generate_bit_triples(
     return BitTriples(a, b, c)
 
 
+def triples_via_service(session, n: int) -> BitTriples:
+    """Draw n pooled triples from a provisioning-service session.
+
+    Both parties call this in lockstep; the service generated the
+    triples in the background (cross-direction OTs over its own
+    sub-channel), so the online cost here is one allocation offset on
+    the session channel plus a possible stall if the pool is behind.
+    """
+    return session.draw_triples(n)
+
+
 def and_shared(
     channel: Channel,
     triples: BitTriples,

@@ -10,6 +10,16 @@ fixed cost.
 This module also provides :func:`base_cot`, the delta-correlated
 variant the Ferret setup needs: the sender's two messages are
 ``(r, r XOR Delta)``, giving the receiver a COT ``(b, r XOR b*Delta)``.
+
+Two wire schedules produce identical outputs:
+
+* **batched** (default): the receiver sends *one* message carrying all
+  n group elements and the sender answers with one payload -- two big
+  messages total, so a whole Ferret setup costs O(1) round trips
+  instead of O(n) messages (the per-element modexps remain, they are
+  the irreducible PKC cost).
+* **sequential** (``batched=False``): the original per-OT element
+  messages, kept as a reference oracle.
 """
 
 from __future__ import annotations
@@ -29,11 +39,33 @@ def _mask(key16: bytes, message: np.ndarray, index: int) -> np.ndarray:
     return blocks.xor(message, pad)
 
 
+def _sender_payload_for(
+    group: SchnorrGroup,
+    a: int,
+    big_a_inv_a: int,
+    b_elem: int,
+    messages0: np.ndarray,
+    messages1: np.ndarray,
+    i: int,
+) -> bytes:
+    """Masked ciphertext pair for one receiver element (both schedules)."""
+    if not 1 < b_elem < group.p - 1:
+        raise ProtocolError("receiver sent a degenerate group element")
+    b_to_a = group.exp(b_elem, a)
+    # If B = g^b * A^c then B^a * A^{-ac} = g^{ab}: key_c is the DH value.
+    key0 = group.hash_to_key(b_to_a, b"|0")
+    key1 = group.hash_to_key(group.mul(b_to_a, big_a_inv_a), b"|1")
+    return blocks.to_bytes(_mask(key0, messages0[i : i + 1], i)) + blocks.to_bytes(
+        _mask(key1, messages1[i : i + 1], i)
+    )
+
+
 def base_ot_send(
     channel: Channel,
     messages0: np.ndarray,
     messages1: np.ndarray,
     group: SchnorrGroup = DEFAULT_GROUP,
+    batched: bool = True,
 ) -> None:
     """Sender side: transfer one of (messages0[i], messages1[i]) per i.
 
@@ -41,6 +73,8 @@ def base_ot_send(
         channel: duplex channel to the receiver.
         messages0: (n, 2) blocks, the "0" messages.
         messages1: (n, 2) blocks, the "1" messages.
+        batched: receive all n group elements in one message (default)
+            instead of one message per OT; both sides must agree.
     """
     blocks.require_blocks(messages0, "messages0")
     blocks.require_blocks(messages1, "messages1")
@@ -52,17 +86,25 @@ def base_ot_send(
     channel.send_int(n)
     channel.send_bytes(group.element_bytes(big_a))
     big_a_inv_a = group.exp(group.inv(big_a), a)  # A^{-a}, reused per OT
+    width = len(group.element_bytes(big_a))
     payload = bytearray()
-    for i in range(n):
-        b_elem = int.from_bytes(channel.recv_bytes(), "big")
-        if not 1 < b_elem < group.p - 1:
-            raise ProtocolError("receiver sent a degenerate group element")
-        b_to_a = group.exp(b_elem, a)
-        # If B = g^b * A^c then B^a * A^{-ac} = g^{ab}: key_c is the DH value.
-        key0 = group.hash_to_key(b_to_a, b"|0")
-        key1 = group.hash_to_key(group.mul(b_to_a, big_a_inv_a), b"|1")
-        payload += blocks.to_bytes(_mask(key0, messages0[i : i + 1], i))
-        payload += blocks.to_bytes(_mask(key1, messages1[i : i + 1], i))
+    if batched:
+        blob = channel.recv_bytes()
+        if len(blob) != n * width:
+            raise ProtocolError(
+                f"batched element blob has {len(blob)} bytes, expected {n * width}"
+            )
+        for i in range(n):
+            b_elem = int.from_bytes(blob[i * width : (i + 1) * width], "big")
+            payload += _sender_payload_for(
+                group, a, big_a_inv_a, b_elem, messages0, messages1, i
+            )
+    else:
+        for i in range(n):
+            b_elem = int.from_bytes(channel.recv_bytes(), "big")
+            payload += _sender_payload_for(
+                group, a, big_a_inv_a, b_elem, messages0, messages1, i
+            )
     channel.send_bytes(bytes(payload))
 
 
@@ -70,6 +112,7 @@ def base_ot_receive(
     channel: Channel,
     choices: np.ndarray,
     group: SchnorrGroup = DEFAULT_GROUP,
+    batched: bool = True,
 ) -> np.ndarray:
     """Receiver side: obtain messages[choices[i]][i] for each i."""
     choices = np.asarray(choices, dtype=np.uint8)
@@ -82,13 +125,19 @@ def base_ot_receive(
     if not 1 < big_a < group.p - 1:
         raise ProtocolError("sender sent a degenerate group element")
     keys = []
+    elems = bytearray()
     for i in range(choices.shape[0]):
         b = group.random_scalar()
         b_elem = group.gexp(b)
         if choices[i]:
             b_elem = group.mul(b_elem, big_a)
-        channel.send_bytes(group.element_bytes(b_elem))
+        if batched:
+            elems += group.element_bytes(b_elem)
+        else:
+            channel.send_bytes(group.element_bytes(b_elem))
         keys.append(group.hash_to_key(group.exp(big_a, b), b"|%d" % choices[i]))
+    if batched:
+        channel.send_bytes(bytes(elems))
     payload = channel.recv_bytes()
     out = blocks.zeros(choices.shape[0])
     for i, key in enumerate(keys):
@@ -104,6 +153,7 @@ def base_cot_send(
     delta: np.ndarray,
     rng: np.random.Generator,
     group: SchnorrGroup = DEFAULT_GROUP,
+    batched: bool = True,
 ) -> np.ndarray:
     """Delta-correlated base OTs, sender side: returns r (n blocks).
 
@@ -112,7 +162,7 @@ def base_cot_send(
     the Ferret setup consumes.
     """
     r = blocks.random_blocks(n, rng)
-    base_ot_send(channel, r, blocks.xor(r, delta), group=group)
+    base_ot_send(channel, r, blocks.xor(r, delta), group=group, batched=batched)
     return r
 
 
@@ -120,6 +170,7 @@ def base_cot_receive(
     channel: Channel,
     choices: np.ndarray,
     group: SchnorrGroup = DEFAULT_GROUP,
+    batched: bool = True,
 ) -> np.ndarray:
     """Delta-correlated base OTs, receiver side: returns r XOR b*Delta."""
-    return base_ot_receive(channel, choices, group=group)
+    return base_ot_receive(channel, choices, group=group, batched=batched)

@@ -2,10 +2,17 @@
 
 Every protocol in this package speaks through a :class:`Channel`, so
 bytes and round trips are counted exactly -- that is what backs the
-communication columns of Figure 7(b) and Figure 16.  The default
-implementation is an in-memory duplex pair; parties run in two threads
-via :func:`run_pair` so genuinely interactive protocols (SPCOT's
-level-by-level OTs) execute in their natural shape.
+communication columns of Figure 7(b) and Figure 16.  Three transports
+implement it:
+
+* :class:`LocalChannel` -- an in-memory duplex pair; parties run in two
+  threads via :func:`run_pair` so genuinely interactive protocols
+  (SPCOT's level-by-level OTs) execute in their natural shape.
+* :class:`SocketChannel` -- length-prefixed messages over a real OS
+  socket, so the same protocol code runs unchanged between two
+  processes (or two machines).
+* :class:`repro.runtime.mux.MuxChannel` sub-channels -- tagged logical
+  channels multiplexed over either of the above.
 
 A round is counted IKNP-style: the channel's round counter increments
 each time a party sends after having received (i.e. each direction
@@ -15,13 +22,17 @@ flip), which matches how MPC papers report round complexity.
 from __future__ import annotations
 
 import queue
+import select
+import socket
+import struct
 import threading
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.crypto import blocks
-from repro.errors import ChannelError
+from repro.errors import ChannelClosed, ChannelError, ChannelTimeout
 
 
 @dataclass
@@ -60,7 +71,11 @@ class Channel:
     def send_bytes(self, data: bytes) -> None:
         raise NotImplementedError
 
-    def recv_bytes(self) -> bytes:
+    def recv_bytes(self, timeout: float = None) -> bytes:
+        """Blocking receive; ``timeout`` (seconds) overrides the channel
+        default, raising :class:`ChannelTimeout` on expiry.  Pollers
+        (the mux pump, the service follower loop) rely on every
+        transport honouring this parameter."""
         raise NotImplementedError
 
     # -- typed helpers used by the protocol code ----------------------------
@@ -97,47 +112,197 @@ class Channel:
         return int.from_bytes(data, "little")
 
 
-class LocalChannel(Channel):
-    """One endpoint of an in-memory duplex pair (thread-safe)."""
+#: Default blocking-receive timeout; generous enough for CI, short
+#: enough that a deadlocked protocol fails loudly.
+DEFAULT_RECV_TIMEOUT = 60.0
 
-    def __init__(self, inbox: "queue.Queue", outbox: "queue.Queue"):
+
+class LocalChannel(Channel):
+    """One endpoint of an in-memory duplex pair (thread-safe).
+
+    ``timeout`` is the default blocking-receive timeout in seconds
+    (``None`` waits forever); paper-sized runs and slow CI boxes can
+    raise it via :meth:`pair` / :func:`run_pair` instead of dying
+    spuriously at the old hardcoded 60 s.
+    """
+
+    def __init__(
+        self,
+        inbox: "queue.Queue",
+        outbox: "queue.Queue",
+        timeout: float = DEFAULT_RECV_TIMEOUT,
+    ):
         super().__init__()
         self._inbox = inbox
         self._outbox = outbox
+        self.timeout = timeout
 
     @staticmethod
-    def pair() -> tuple:
+    def pair(timeout: float = DEFAULT_RECV_TIMEOUT) -> tuple:
         """Create two connected endpoints (a_to_b, b_to_a)."""
         q_ab: queue.Queue = queue.Queue()
         q_ba: queue.Queue = queue.Queue()
-        return LocalChannel(q_ba, q_ab), LocalChannel(q_ab, q_ba)
+        return LocalChannel(q_ba, q_ab, timeout), LocalChannel(q_ab, q_ba, timeout)
 
     def send_bytes(self, data: bytes) -> None:
         self.stats.record_send(len(data))
         self._outbox.put(data)
 
-    def recv_bytes(self, timeout: float = 60.0) -> bytes:
+    def recv_bytes(self, timeout: float = None) -> bytes:
+        timeout = self.timeout if timeout is None else timeout
         try:
             data = self._inbox.get(timeout=timeout)
         except queue.Empty as exc:
-            raise ChannelError("recv timed out; is the peer still running?") from exc
+            raise ChannelTimeout("recv timed out; is the peer still running?") from exc
         self.stats.record_recv(len(data))
         return data
+
+
+class SocketChannel(Channel):
+    """Length-prefixed messages over a connected OS socket.
+
+    Framing is a fixed 8-byte little-endian length header followed by
+    the payload, preserving the message boundaries every protocol here
+    relies on.  Sends are serialized with a lock so multiplexed callers
+    (:class:`repro.runtime.mux.MuxChannel`) can share one endpoint.
+
+    The socket stays in blocking mode (sends must never time out
+    mid-stream -- a partial ``sendall`` would desynchronize the
+    framing); receive timeouts are implemented with ``select`` instead,
+    and partially received messages are retained in a buffer across
+    timeouts so a polling receiver (the mux pump) can resume cleanly.
+    """
+
+    def __init__(self, sock: socket.socket, timeout: float = DEFAULT_RECV_TIMEOUT):
+        super().__init__()
+        self._sock = sock
+        self._sock.settimeout(None)  # blocking; recv waits via select
+        self.timeout = timeout
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        self._rx = bytearray()  # partial-message buffer (survives timeouts)
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def pair(timeout: float = DEFAULT_RECV_TIMEOUT) -> tuple:
+        """Two connected endpoints over a real OS socketpair."""
+        sa, sb = socket.socketpair()
+        return SocketChannel(sa, timeout), SocketChannel(sb, timeout)
+
+    @classmethod
+    def listen(
+        cls, host: str = "127.0.0.1", port: int = 0, timeout: float = DEFAULT_RECV_TIMEOUT
+    ) -> "SocketListener":
+        """Bind a listener; ``accept()`` yields a connected channel."""
+        srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        srv.bind((host, port))
+        srv.listen(1)
+        return SocketListener(srv, timeout)
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        timeout: float = DEFAULT_RECV_TIMEOUT,
+        connect_timeout: float = 10.0,
+    ) -> "SocketChannel":
+        """Connect to a listening peer (used by the second process)."""
+        sock = socket.create_connection((host, port), timeout=connect_timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(sock, timeout)
+
+    # -- transport ----------------------------------------------------------
+    def _fill(self, n: int, deadline: float) -> None:
+        """Grow the receive buffer to >= n bytes; buffer survives timeouts."""
+        while len(self._rx) < n:
+            try:
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not select.select(
+                        [self._sock], [], [], remaining
+                    )[0]:
+                        raise ChannelTimeout(
+                            "socket recv timed out; is the peer still running?"
+                        )
+                chunk = self._sock.recv(1 << 20)
+            except (OSError, ValueError) as exc:  # reset, EBADF, closed fd
+                raise ChannelClosed(f"socket receive failed: {exc}") from exc
+            if not chunk:
+                raise ChannelClosed("peer closed the connection")
+            self._rx += chunk
+
+    def send_bytes(self, data: bytes) -> None:
+        with self._send_lock:
+            self.stats.record_send(len(data))
+            try:
+                self._sock.sendall(struct.pack("<Q", len(data)) + data)
+            except OSError as exc:
+                raise ChannelClosed(f"socket send failed: {exc}") from exc
+
+    def recv_bytes(self, timeout: float = None) -> bytes:
+        timeout = self.timeout if timeout is None else timeout
+        with self._recv_lock:
+            # Deadline starts once this thread's turn begins: waiting on
+            # another thread's receive must not eat this one's budget.
+            deadline = None if timeout is None else time.monotonic() + timeout
+            self._fill(8, deadline)
+            (length,) = struct.unpack_from("<Q", self._rx)
+            self._fill(8 + length, deadline)
+            data = bytes(self._rx[8 : 8 + length])
+            del self._rx[: 8 + length]
+        self.stats.record_recv(len(data))
+        return data
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+class SocketListener:
+    """A bound, listening TCP socket that accepts one SocketChannel."""
+
+    def __init__(self, srv: socket.socket, timeout: float):
+        self._srv = srv
+        self._timeout = timeout
+
+    @property
+    def port(self) -> int:
+        return self._srv.getsockname()[1]
+
+    def accept(self, accept_timeout: float = 30.0) -> SocketChannel:
+        self._srv.settimeout(accept_timeout)
+        try:
+            conn, _ = self._srv.accept()
+        except socket.timeout as exc:
+            # Keep the listener open so the caller can retry accept().
+            raise ChannelTimeout("no peer connected before the timeout") from exc
+        self._srv.close()
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return SocketChannel(conn, self._timeout)
 
 
 class PartyError(ChannelError):
     """One side of a :func:`run_pair` execution raised; wraps the cause."""
 
 
-def run_pair(party_a, party_b, timeout: float = 300.0) -> tuple:
+def run_pair(
+    party_a, party_b, timeout: float = 300.0, recv_timeout: float = DEFAULT_RECV_TIMEOUT
+) -> tuple:
     """Run two party callables concurrently over a fresh channel pair.
 
     Each callable receives its :class:`LocalChannel` endpoint and runs in
     its own thread; returns ``(result_a, result_b)``.  Exceptions on
     either side are re-raised in the caller (wrapped in PartyError) so
-    test failures point at the faulting party.
+    test failures point at the faulting party.  ``timeout`` bounds the
+    whole execution; ``recv_timeout`` is each channel's blocking-receive
+    patience (raise both for paper-sized runs).
     """
-    chan_a, chan_b = LocalChannel.pair()
+    chan_a, chan_b = LocalChannel.pair(timeout=recv_timeout)
     results = {}
     errors = {}
 

@@ -1,0 +1,43 @@
+"""Correlation provisioning runtime: pools, service, multiplexing.
+
+This package turns the one-shot ``ferret_pair`` demo into a long-lived
+producer/consumer system (the deployment shape the paper's Figure 1(b)
+amortization argument assumes):
+
+* :mod:`repro.runtime.pool` -- thread-safe typed correlation pools with
+  watermark refill, backpressure, and per-pool statistics;
+* :mod:`repro.runtime.service` -- a per-party background worker that
+  keeps the pools filled by running Ferret extends (both directions)
+  and derived production (bit triples, random OTs), with deterministic
+  leader-side allocation so the two parties' draws stay correlated;
+* :mod:`repro.runtime.mux` -- tagged sub-channel multiplexing so the
+  provisioning traffic and any number of consumer sessions share one
+  duplex link (in-memory or a real socket).
+"""
+
+from repro.runtime.mux import MuxChannel, SubChannel
+from repro.runtime.pool import (
+    CorrelationPool,
+    PoolStats,
+    ReceiverCotPool,
+    RotReceiverPool,
+    RotSenderPool,
+    SenderCotPool,
+    TriplePool,
+)
+from repro.runtime.service import CorrelationService, ServiceSession, ServiceTuning
+
+__all__ = [
+    "CorrelationPool",
+    "CorrelationService",
+    "MuxChannel",
+    "PoolStats",
+    "ReceiverCotPool",
+    "RotReceiverPool",
+    "RotSenderPool",
+    "SenderCotPool",
+    "ServiceSession",
+    "ServiceTuning",
+    "SubChannel",
+    "TriplePool",
+]

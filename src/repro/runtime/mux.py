@@ -1,0 +1,178 @@
+"""Channel multiplexing: many tagged logical channels over one link.
+
+The provisioning runtime needs several concurrent conversations between
+the same two hosts -- the background Ferret extends, the triple
+generator, and N consumer sessions -- but a deployment has *one* duplex
+link.  :class:`MuxChannel` wraps any :class:`repro.ot.channel.Channel`
+endpoint and hands out :class:`SubChannel` objects keyed by a string
+tag; each sub-channel is itself a full ``Channel`` (typed helpers,
+:class:`~repro.ot.channel.ChannelStats` accounting), so every existing
+protocol runs over a sub-channel unchanged.
+
+Framing: each message on the wire is ``u16 tag_len | tag utf-8 |
+payload``.  A per-endpoint pump thread drains the underlying channel
+and routes frames into per-tag inboxes, so receives on different
+sub-channels never block each other.
+
+Accounting: a sub-channel's stats record the *framed* size of its own
+traffic (payload + tag header), so the per-tag byte counts partition
+the underlying channel's totals exactly -- provisioning bytes and
+consumer bytes stay separable, and per-protocol ``rounds`` keep their
+meaning on the sub-channel where the protocol actually runs.
+"""
+
+from __future__ import annotations
+
+import queue
+import struct
+import threading
+
+from repro.errors import ChannelClosed, ChannelError, ChannelTimeout
+from repro.ot.channel import Channel, DEFAULT_RECV_TIMEOUT
+
+#: Frame header: little-endian u16 tag length.
+_TAG_HEADER = struct.Struct("<H")
+
+
+class SubChannel(Channel):
+    """One tagged logical channel of a :class:`MuxChannel` endpoint."""
+
+    def __init__(self, mux: "MuxChannel", tag: str):
+        super().__init__()
+        self.tag = tag
+        self._mux = mux
+        self._tag_bytes = tag.encode("utf-8")
+        if len(self._tag_bytes) > 0xFFFF:
+            raise ChannelError("sub-channel tag too long")
+        self._inbox: queue.Queue = queue.Queue()
+
+    def send_bytes(self, data: bytes) -> None:
+        frame = _TAG_HEADER.pack(len(self._tag_bytes)) + self._tag_bytes + data
+        self.stats.record_send(len(frame))
+        self._mux._send_frame(frame)
+
+    def recv_bytes(self, timeout: float = None) -> bytes:
+        timeout = self._mux.timeout if timeout is None else timeout
+        try:
+            item = self._inbox.get_nowait()
+        except queue.Empty:
+            # Nothing queued: fail fast if the pump already died, rather
+            # than sitting out the full timeout first.
+            self._mux._check_pump()
+            try:
+                item = self._inbox.get(timeout=timeout)
+            except queue.Empty as exc:
+                self._mux._check_pump()
+                raise ChannelTimeout(
+                    f"recv timed out on sub-channel {self.tag!r}"
+                ) from exc
+        if item is _CLOSED:
+            self._mux._check_pump()  # surfaces the original transport error
+            raise ChannelClosed(f"mux closed while sub-channel {self.tag!r} waited")
+        self.stats.record_recv(len(item) + _TAG_HEADER.size + len(self._tag_bytes))
+        return item
+
+
+#: Sentinel pushed into every inbox when the mux shuts down.
+_CLOSED = object()
+
+
+class MuxChannel:
+    """Multiplexes tagged sub-channels over one duplex channel endpoint.
+
+    Both peers wrap their respective endpoints and must use matching
+    tags.  Sub-channels are created lazily on first :meth:`sub` call
+    *or* on first incoming frame for an unknown tag (so the creation
+    order on the two hosts need not match).
+    """
+
+    def __init__(self, base: Channel, timeout: float = DEFAULT_RECV_TIMEOUT):
+        self.base = base
+        self.timeout = timeout
+        self._subs: dict = {}
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._pump_error = None
+        self._pump_dead = False
+        self._pump = threading.Thread(
+            target=self._pump_loop, name="mux-pump", daemon=True
+        )
+        self._pump.start()
+
+    # -- sub-channel management --------------------------------------------
+    def sub(self, tag: str) -> SubChannel:
+        """The sub-channel for ``tag`` (created on first use)."""
+        with self._lock:
+            if tag not in self._subs:
+                if self._closed.is_set():
+                    raise ChannelClosed("mux is closed")
+                sub = SubChannel(self, tag)
+                if self._pump_dead:
+                    # Created after the pump exited: no frame will ever
+                    # arrive, so seed the sentinel that wakes receivers.
+                    sub._inbox.put(_CLOSED)
+                self._subs[tag] = sub
+            return self._subs[tag]
+
+    @property
+    def tags(self) -> tuple:
+        with self._lock:
+            return tuple(sorted(self._subs))
+
+    def stats_by_tag(self) -> dict:
+        """Per-tag ChannelStats snapshot (for attribution reports)."""
+        with self._lock:
+            return {tag: sub.stats for tag, sub in self._subs.items()}
+
+    # -- transport ----------------------------------------------------------
+    def _send_frame(self, frame: bytes) -> None:
+        if self._closed.is_set():
+            raise ChannelClosed("mux is closed")
+        with self._send_lock:
+            self.base.send_bytes(frame)
+
+    def _pump_loop(self) -> None:
+        try:
+            while not self._closed.is_set():
+                try:
+                    frame = self.base.recv_bytes(timeout=0.2)
+                except ChannelTimeout:
+                    continue
+                except BaseException as exc:  # noqa: BLE001 - any transport fault
+                    if not self._closed.is_set():
+                        self._pump_error = exc
+                    break
+                try:
+                    (tag_len,) = _TAG_HEADER.unpack_from(frame)
+                    tag = frame[_TAG_HEADER.size : _TAG_HEADER.size + tag_len].decode(
+                        "utf-8"
+                    )
+                    payload = frame[_TAG_HEADER.size + tag_len :]
+                except (struct.error, UnicodeDecodeError) as exc:
+                    self._pump_error = ChannelError(f"malformed mux frame: {exc!r}")
+                    break
+                try:
+                    self.sub(tag)._inbox.put(payload)
+                except ChannelClosed:
+                    break  # closed while routing the final frame
+        finally:
+            # Wake every blocked receiver so they fail loudly instead of
+            # timing out one by one -- even if the loop died unexpectedly.
+            with self._lock:
+                self._pump_dead = True
+                for sub in self._subs.values():
+                    sub._inbox.put(_CLOSED)
+
+    def _check_pump(self) -> None:
+        if isinstance(self._pump_error, ChannelClosed):
+            raise ChannelClosed(f"peer closed the mux link: {self._pump_error}")
+        if self._pump_error is not None:
+            raise ChannelError(f"mux pump died: {self._pump_error!r}")
+        if self._pump_dead and not self._closed.is_set():
+            raise ChannelClosed("mux pump exited")
+
+    def close(self) -> None:
+        """Stop the pump and wake all blocked receivers."""
+        self._closed.set()
+        self._pump.join(timeout=2.0)

@@ -1,0 +1,293 @@
+"""Thread-safe typed correlation pools with watermark bookkeeping.
+
+A pool buffers one kind of correlation (sender COTs, receiver COTs,
+random OTs, bit triples) produced by the background provisioning
+service and consumed by concurrent sessions.  The crucial design point
+is that a correlation is only useful if *both* parties consume the same
+one, so pools index their contents by **absolute position** in the
+production stream:
+
+* ``reserve(n)`` (allocation authority only -- party 0 in the service)
+  claims the next range ``[lo, lo+n)`` and is purely local bookkeeping;
+* ``take(lo, n)`` (both parties) blocks until the range has been
+  produced and returns its contents.
+
+Party 0 reserves and tells party 1 the offset in-band (one integer on
+the session's sub-channel), so draws land on mirrored correlations no
+matter how threads interleave on either host.
+
+Backpressure is demand-driven: ``reserve`` may run ahead of production
+(level goes negative), which trips the ``refill`` event the service
+worker waits on; ``take`` blocks until the worker catches up, with the
+wait recorded as stall time in :class:`PoolStats`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.ot.cot import CotReceiverBatch, CotSenderBatch
+
+
+@dataclass
+class PoolStats:
+    """Consumption/production accounting for one pool."""
+
+    draws: int = 0  # take() calls served
+    items_drawn: int = 0
+    refills: int = 0  # append() calls
+    items_refilled: int = 0
+    stalled_draws: int = 0  # draws that had to wait for production
+    stall_time_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of draws served without waiting for the producer."""
+        if self.draws == 0:
+            return 1.0
+        return 1.0 - self.stalled_draws / self.draws
+
+    def as_dict(self) -> dict:
+        return {
+            "draws": self.draws,
+            "items_drawn": self.items_drawn,
+            "refills": self.refills,
+            "items_refilled": self.items_refilled,
+            "stalled_draws": self.stalled_draws,
+            "stall_time_s": self.stall_time_s,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class CorrelationPool:
+    """Base pool: absolute-indexed stream of fixed-width numpy columns.
+
+    Subclasses fix the column layout and wrap take results in typed
+    batches.  ``low_watermark`` is the produced-ahead level below which
+    the pool asks the service for a refill; ``high_watermark`` is the
+    level the service tops up to.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_columns: int,
+        low_watermark: int = 0,
+        high_watermark: int = None,
+        trim_chunk: int = 1 << 15,
+    ):
+        self.name = name
+        self.low_watermark = low_watermark
+        self.high_watermark = high_watermark if high_watermark is not None else max(
+            low_watermark * 2, low_watermark + 1
+        )
+        self.stats = PoolStats()
+        self.refill = threading.Event()
+        self._columns = [None] * n_columns
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._produced = 0  # absolute count appended so far
+        self._reserved = 0  # absolute count claimed so far
+        self._base = 0  # absolute index of the first retained element
+        self._done_upto = 0  # contiguous prefix fully taken
+        self._pending_done: dict = {}  # lo -> hi of out-of-order takes
+        self._trim_chunk = trim_chunk
+        self._closed = False
+
+    # -- levels -------------------------------------------------------------
+    @property
+    def produced(self) -> int:
+        return self._produced
+
+    @property
+    def reserved(self) -> int:
+        return self._reserved
+
+    @property
+    def level(self) -> int:
+        """Produced-ahead margin; negative when demand outruns supply."""
+        return self._produced - self._reserved
+
+    @property
+    def deficit(self) -> int:
+        """Items production should add to get back to the high watermark."""
+        return max(0, self.high_watermark - self.level)
+
+    def needs_refill(self) -> bool:
+        return self.level < self.low_watermark
+
+    # -- producer side ------------------------------------------------------
+    def _grow(self, i: int, arr: np.ndarray, used: int) -> None:
+        """Amortized append: geometric capacity growth, copy-in-place.
+
+        A naive per-refill np.concatenate would copy the whole retained
+        buffer on every extend -- quadratic provisioning overhead at
+        paper scale.
+        """
+        col = self._columns[i]
+        need = used + arr.shape[0]
+        if col is None or col.shape[0] < need:
+            cap = max(need, 2 * (0 if col is None else col.shape[0]))
+            fresh = np.empty((cap,) + arr.shape[1:], dtype=arr.dtype)
+            if col is not None:
+                fresh[:used] = col[:used]
+            self._columns[i] = fresh
+        self._columns[i][used:need] = arr
+
+    def append_columns(self, arrays: tuple) -> None:
+        """Append one production batch (equal-length column arrays)."""
+        n = arrays[0].shape[0]
+        if any(a.shape[0] != n for a in arrays):
+            raise ServiceError(f"pool {self.name}: column lengths disagree")
+        with self._cond:
+            if self._closed:
+                raise ServiceError(f"pool {self.name} is closed")
+            used = self._produced - self._base
+            for i, arr in enumerate(arrays):
+                self._grow(i, arr, used)
+            self._produced += n
+            self.stats.refills += 1
+            self.stats.items_refilled += n
+            self._cond.notify_all()
+
+    # -- consumer side ------------------------------------------------------
+    def reserve(self, n: int) -> int:
+        """Claim the next range; returns its absolute start offset."""
+        with self._lock:
+            lo = self._reserved
+            self._reserved += n
+            if self.needs_refill():
+                self.refill.set()
+            return lo
+
+    def try_reserve_produced(self, n: int) -> int:
+        """Reserve only if the range is already fully produced, else None.
+
+        The service worker uses this for internal consumption (triple /
+        ROT production) so it never blocks itself waiting for extends it
+        is the only one able to run.
+        """
+        with self._lock:
+            if self._produced - self._reserved < n:
+                return None
+            lo = self._reserved
+            self._reserved += n
+            if self.needs_refill():
+                self.refill.set()
+            return lo
+
+    def take_columns(self, lo: int, n: int, timeout: float = None) -> tuple:
+        """Block until ``[lo, lo+n)`` is produced, then return its columns."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        start = time.monotonic()
+        stalled = False
+        with self._cond:
+            while self._produced < lo + n and not self._closed:
+                stalled = True
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self.stats.stall_time_s += time.monotonic() - start
+                    raise ServiceError(
+                        f"pool {self.name}: timed out waiting for [{lo}, {lo + n}) "
+                        f"(produced {self._produced})"
+                    )
+                self.refill.set()
+                self._cond.wait(timeout=0.2 if remaining is None else min(remaining, 0.2))
+            if self._produced < lo + n:  # closed before the range arrived
+                raise ServiceError(f"pool {self.name} closed while waiting")
+            if lo < self._base:
+                raise ServiceError(
+                    f"pool {self.name}: range [{lo}, {lo + n}) already trimmed"
+                )
+            sl = slice(lo - self._base, lo - self._base + n)
+            out = tuple(col[sl].copy() for col in self._columns)
+            self._mark_done(lo, lo + n)
+            self.stats.draws += 1
+            self.stats.items_drawn += n
+            if stalled:
+                self.stats.stalled_draws += 1
+                self.stats.stall_time_s += time.monotonic() - start
+            return out
+
+    def _mark_done(self, lo: int, hi: int) -> None:
+        """Advance the contiguous-done frontier; trim old buffer prefix."""
+        self._pending_done[lo] = hi
+        while self._done_upto in self._pending_done:
+            self._done_upto = self._pending_done.pop(self._done_upto)
+        cut = self._done_upto - self._base
+        if cut >= self._trim_chunk:
+            self._columns = [col[cut:] for col in self._columns]
+            self._base = self._done_upto
+
+    def close(self) -> None:
+        """Wake all blocked takers with an error (service shutdown)."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+
+class SenderCotPool(CorrelationPool):
+    """This party's sender-role COTs (holds the direction's Delta)."""
+
+    def __init__(self, name: str, delta: np.ndarray, **kwargs):
+        super().__init__(name, n_columns=1, **kwargs)
+        self.delta = delta
+
+    def append_batch(self, batch: CotSenderBatch) -> None:
+        self.append_columns((batch.z,))
+
+    def take_batch(self, lo: int, n: int, timeout: float = None) -> CotSenderBatch:
+        (z,) = self.take_columns(lo, n, timeout)
+        return CotSenderBatch(self.delta, z)
+
+
+class ReceiverCotPool(CorrelationPool):
+    """This party's receiver-role COTs (choice bits + blocks)."""
+
+    def __init__(self, name: str, **kwargs):
+        super().__init__(name, n_columns=2, **kwargs)
+
+    def append_batch(self, batch: CotReceiverBatch) -> None:
+        self.append_columns((batch.x, batch.y))
+
+    def take_batch(self, lo: int, n: int, timeout: float = None) -> CotReceiverBatch:
+        x, y = self.take_columns(lo, n, timeout)
+        return CotReceiverBatch(x, y)
+
+
+class RotSenderPool(CorrelationPool):
+    """Random-OT sender pairs (m0, m1) from the Figure 2 conversion."""
+
+    def __init__(self, name: str, **kwargs):
+        super().__init__(name, n_columns=2, **kwargs)
+
+    def take_pairs(self, lo: int, n: int, timeout: float = None) -> tuple:
+        return self.take_columns(lo, n, timeout)
+
+
+class RotReceiverPool(CorrelationPool):
+    """Random-OT receiver view (choice bit, chosen message)."""
+
+    def __init__(self, name: str, **kwargs):
+        super().__init__(name, n_columns=2, **kwargs)
+
+    def take_pairs(self, lo: int, n: int, timeout: float = None) -> tuple:
+        return self.take_columns(lo, n, timeout)
+
+
+class TriplePool(CorrelationPool):
+    """Beaver bit-triple shares (a, b, c)."""
+
+    def __init__(self, name: str, **kwargs):
+        super().__init__(name, n_columns=3, **kwargs)
+
+    def take_triples(self, lo: int, n: int, timeout: float = None):
+        from repro.mpc.triples import BitTriples
+
+        a, b, c = self.take_columns(lo, n, timeout)
+        return BitTriples(a, b, c)

@@ -1,0 +1,499 @@
+"""The background correlation provisioning service.
+
+One :class:`CorrelationService` runs per party.  It owns up to two
+Ferret endpoints -- the *forward* direction (party 0 is the COT sender)
+and the *reverse* direction (party 1 is the sender), because every
+role-switching workload (bit triples, the ReLU multiplexer) needs OTs
+both ways -- and a worker thread that keeps typed pools above their
+low watermarks by running ``extend()`` and derived production while
+consumers draw.  This is the Figure 1(b) amortization realized as a
+long-lived runtime: the ~seconds base-OT Init runs once per direction,
+then extends stream correlations to any number of sessions.
+
+**Determinism.**  A correlation only works if both parties consume the
+same one, so all allocation decisions are made on party 0 (the
+*leader*) and propagated in-band:
+
+* consumer draws: party 0 reserves the absolute range in the pool and
+  sends the offset to its peer session over the session sub-channel;
+* production (extends, triple generation, random-OT conversion): the
+  leader's worker sends a command frame on the ``prov/ctl`` sub-channel
+  naming the operation and the exact input ranges; the follower's
+  worker replays commands in order.
+
+Thread interleaving on either host therefore cannot desynchronize the
+two parties: the command stream and the per-session offset streams are
+the only sources of truth.
+
+**Liveness.**  The leader only schedules triple/ROT production over
+ranges that are already produced (``try_reserve_produced``), so the
+worker never blocks waiting on an extend that the worker itself would
+have to run.  Consumer draws may over-reserve freely; the resulting
+negative pool level is exactly the demand signal the leader tops up.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ChannelTimeout, ServiceError
+from repro.ferret.config import FerretConfig
+from repro.ferret.protocol import FerretReceiver, FerretSender
+from repro.mpc.triples import generate_bit_triples
+from repro.ot.cot import CotPool
+from repro.ot.ot_from_cot import (
+    cot_to_random_ot_receiver,
+    cot_to_random_ot_sender,
+    ot_receive_from_cot,
+    ot_send_from_cot,
+)
+from repro.runtime.mux import MuxChannel
+from repro.runtime.pool import (
+    ReceiverCotPool,
+    RotReceiverPool,
+    RotSenderPool,
+    SenderCotPool,
+    TriplePool,
+)
+
+#: Control frame: 4-byte opcode + three u64 arguments (count, range
+#: offsets); meaning of the offsets depends on the opcode.
+_CTL = struct.Struct("<4sQQQ")
+
+OP_EXTEND_FWD = b"EXT0"
+OP_EXTEND_REV = b"EXT1"
+OP_TRIPLES = b"TRI\x00"
+OP_ROT_FWD = b"ROT0"
+OP_ROT_REV = b"ROT1"
+OP_STOP = b"STOP"
+
+
+@dataclass
+class ServiceTuning:
+    """Watermarks and batch sizes for the provisioning worker.
+
+    ``None`` watermarks are derived from the Ferret config at service
+    construction (keep about one extend's output in flight).
+    """
+
+    cot_low: int = None
+    cot_high: int = None
+    triple_low: int = 128
+    triple_high: int = 1024
+    triple_chunk: int = 1024
+    rot_low: int = 0
+    rot_high: int = 512
+    rot_chunk: int = 512
+    enable_reverse: bool = True
+    enable_triples: bool = True
+    enable_rots: bool = True
+    poll_interval_s: float = 0.02
+    take_timeout_s: float = 300.0
+
+
+class CorrelationService:
+    """Pooled Ferret provisioning for one party.
+
+    Args:
+        party: 0 (leader / allocation authority) or 1 (follower).
+        mux: this party's :class:`MuxChannel` endpoint; the service
+            claims the ``prov/*`` sub-channels and hands sessions
+            ``sess/<name>`` sub-channels.
+        config: the Ferret configuration (shared by both directions).
+        tuning: watermarks / batch sizes; both parties should pass
+            equal ``enable_*`` flags.
+        seed: base seed for the Ferret endpoints; both parties must
+            pass the same value (they derive distinct per-role seeds
+            from it, mirroring :func:`repro.ferret.protocol.ferret_pair`).
+    """
+
+    def __init__(
+        self,
+        party: int,
+        mux: MuxChannel,
+        config: FerretConfig,
+        tuning: ServiceTuning = None,
+        seed: int = 0x10C,
+    ):
+        if party not in (0, 1):
+            raise ServiceError("party must be 0 or 1")
+        self.party = party
+        self.mux = mux
+        self.config = config
+        self.tuning = tuning or ServiceTuning()
+        self._ctl = mux.sub("prov/ctl")
+        self._ch_fwd = mux.sub("prov/fwd")
+        self._ch_rev = mux.sub("prov/rev")
+        self._ch_tri = mux.sub("prov/tri")
+        self._rng = np.random.default_rng(seed + 0x7000 + party)
+
+        # Ferret endpoints: forward = party 0 sends, reverse = party 1.
+        if party == 0:
+            self.ferret_fwd = FerretSender(config, seed=seed)
+            self.ferret_rev = (
+                FerretReceiver(config, seed=seed + 2)
+                if self.tuning.enable_reverse
+                else None
+            )
+        else:
+            self.ferret_fwd = FerretReceiver(config, seed=seed + 1)
+            self.ferret_rev = (
+                FerretSender(config, seed=seed + 3)
+                if self.tuning.enable_reverse
+                else None
+            )
+
+        t = self.tuning
+        cot_low = t.cot_low if t.cot_low is not None else max(1, config.net_output // 4)
+        cot_high = t.cot_high if t.cot_high is not None else config.net_output
+        self.pools: dict = {}
+        if party == 0:
+            self.pools["cot/fwd"] = SenderCotPool(
+                "cot/fwd", self.ferret_fwd.delta,
+                low_watermark=cot_low, high_watermark=cot_high,
+            )
+            if t.enable_reverse:
+                self.pools["cot/rev"] = ReceiverCotPool(
+                    "cot/rev", low_watermark=cot_low, high_watermark=cot_high
+                )
+        else:
+            self.pools["cot/fwd"] = ReceiverCotPool(
+                "cot/fwd", low_watermark=cot_low, high_watermark=cot_high
+            )
+            if t.enable_reverse:
+                self.pools["cot/rev"] = SenderCotPool(
+                    "cot/rev", self.ferret_rev.delta,
+                    low_watermark=cot_low, high_watermark=cot_high,
+                )
+        if t.enable_triples:
+            if not t.enable_reverse:
+                raise ServiceError("triple production needs the reverse direction")
+            self.pools["tri"] = TriplePool(
+                "tri", low_watermark=t.triple_low, high_watermark=t.triple_high
+            )
+        if t.enable_rots:
+            fwd_rot = RotSenderPool if party == 0 else RotReceiverPool
+            self.pools["rot/fwd"] = fwd_rot(
+                "rot/fwd", low_watermark=t.rot_low, high_watermark=t.rot_high
+            )
+            if t.enable_reverse:
+                rev_rot = RotReceiverPool if party == 0 else RotSenderPool
+                self.pools["rot/rev"] = rev_rot(
+                    "rot/rev", low_watermark=t.rot_low, high_watermark=t.rot_high
+                )
+
+        # One wake event shared by every pool: any demand pulse (a
+        # reserve dipping below the low watermark, a blocked take)
+        # nudges the leader's scheduling loop.
+        self._wake = threading.Event()
+        for pool in self.pools.values():
+            pool.refill = self._wake
+
+        self._alloc_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._ready = threading.Event()
+        self.error = None
+        self.extends = {"fwd": 0, "rev": 0}
+        self._worker = threading.Thread(
+            target=self._run, name=f"corr-service-p{party}", daemon=True
+        )
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "CorrelationService":
+        self._worker.start()
+        self._started = True
+        return self
+
+    def wait_ready(self, timeout: float = 120.0) -> None:
+        """Block until base-OT setup finished on this side."""
+        if not self._ready.wait(timeout):
+            self._raise_if_failed()
+            raise ServiceError("service setup did not finish in time")
+        self._raise_if_failed()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Shut the worker down.
+
+        The leader (party 0) broadcasts STOP to the peer, so stop the
+        leader first (or concurrently).  The follower's stop() waits for
+        that STOP to arrive before forcing its loop to exit, so a
+        follower stopped "too early" keeps replaying commands instead of
+        wedging the leader mid-protocol.
+        """
+        if self.party == 0:
+            self._stop.set()
+            self._wake.set()
+            if self._started:
+                self._worker.join(timeout)
+        elif self._started:
+            # Give the leader's STOP a chance to arrive and drain the
+            # command stream cleanly; force the loop only as a fallback.
+            self._worker.join(timeout)
+            if self._worker.is_alive():
+                self._stop.set()
+                self._worker.join(5.0)
+        else:
+            self._stop.set()
+        self._raise_if_failed()
+
+    def _raise_if_failed(self) -> None:
+        if self.error is not None:
+            raise ServiceError(f"service worker failed: {self.error!r}") from self.error
+
+    # -- allocation (leader authority) --------------------------------------
+    def reserve(self, kind: str, n: int) -> int:
+        """Claim the next range of ``kind``; leader-side sessions only."""
+        if self.party != 0:
+            raise ServiceError("only party 0 allocates; party 1 receives offsets")
+        with self._alloc_lock:
+            return self.pools[kind].reserve(n)
+
+    def session(self, name: str) -> "ServiceSession":
+        """A consumer session speaking over the ``sess/<name>`` sub-channel."""
+        return ServiceSession(self, self.mux.sub(f"sess/{name}"), name)
+
+    def pool_stats(self) -> dict:
+        return {kind: pool.stats.as_dict() for kind, pool in self.pools.items()}
+
+    # -- worker -------------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            self.ferret_fwd.setup(self._ch_fwd)
+            if self.ferret_rev is not None:
+                self.ferret_rev.setup(self._ch_rev)
+            self._ready.set()
+            if self.party == 0:
+                try:
+                    self._leader_loop()
+                finally:
+                    # Always tell the follower to wind down -- even when
+                    # the leader loop died on an exception -- so its
+                    # consumers fail fast instead of polling forever.
+                    try:
+                        self._ctl.send_bytes(_CTL.pack(OP_STOP, 0, 0, 0))
+                    except Exception:  # noqa: BLE001 - link may be gone
+                        pass
+            else:
+                self._follower_loop()
+        except BaseException as exc:  # noqa: BLE001 - crossing a thread
+            self.error = exc
+        finally:
+            self._ready.set()
+            for pool in self.pools.values():
+                pool.close()
+
+    def _leader_loop(self) -> None:
+        while not self._stop.is_set():
+            cmd = self._decide()
+            if cmd is None:
+                self._wake.wait(self.tuning.poll_interval_s)
+                self._wake.clear()
+                continue
+            self._ctl.send_bytes(_CTL.pack(*cmd))
+            self._execute(cmd)
+
+    def _follower_loop(self) -> None:
+        while True:
+            try:
+                frame = self._ctl.recv_bytes(timeout=0.2)
+            except ChannelTimeout:
+                if self._stop.is_set():
+                    return
+                continue
+            cmd = _CTL.unpack(frame)
+            if cmd[0] == OP_STOP:
+                return
+            self._execute(cmd)
+
+    def _decide(self):
+        """Leader scheduling: pick the next production command, if any.
+
+        Extends come first (they are the only source of raw COTs), then
+        derived production over ranges that are *already produced*, so
+        the worker never deadlocks on its own output.
+        """
+        t = self.tuning
+        pools = self.pools
+        if pools["cot/fwd"].needs_refill():
+            return (OP_EXTEND_FWD, 0, 0, 0)
+        if t.enable_reverse and pools["cot/rev"].needs_refill():
+            return (OP_EXTEND_REV, 0, 0, 0)
+        with self._alloc_lock:
+            if t.enable_triples and pools["tri"].needs_refill():
+                want = min(pools["tri"].deficit, t.triple_chunk)
+                avail = min(pools["cot/fwd"].level, pools["cot/rev"].level)
+                if avail <= 0:
+                    direction = (
+                        OP_EXTEND_FWD
+                        if pools["cot/fwd"].level <= pools["cot/rev"].level
+                        else OP_EXTEND_REV
+                    )
+                    return (direction, 0, 0, 0)
+                want = min(want, avail)
+                lo_f = pools["cot/fwd"].try_reserve_produced(want)
+                lo_r = pools["cot/rev"].try_reserve_produced(want)
+                if lo_f is None or lo_r is None:  # pragma: no cover - racing
+                    return None
+                return (OP_TRIPLES, want, lo_f, lo_r)
+            if t.enable_rots and pools["rot/fwd"].needs_refill():
+                want = min(
+                    pools["rot/fwd"].deficit, t.rot_chunk, pools["cot/fwd"].level
+                )
+                if want <= 0:
+                    return (OP_EXTEND_FWD, 0, 0, 0)
+                lo = pools["cot/fwd"].try_reserve_produced(want)
+                if lo is None:  # pragma: no cover - racing
+                    return None
+                return (OP_ROT_FWD, want, lo, 0)
+            if t.enable_rots and t.enable_reverse and pools["rot/rev"].needs_refill():
+                want = min(
+                    pools["rot/rev"].deficit, t.rot_chunk, pools["cot/rev"].level
+                )
+                if want <= 0:
+                    return (OP_EXTEND_REV, 0, 0, 0)
+                lo = pools["cot/rev"].try_reserve_produced(want)
+                if lo is None:  # pragma: no cover - racing
+                    return None
+                return (OP_ROT_REV, want, lo, 0)
+        return None
+
+    def _execute(self, cmd) -> None:
+        op, n, lo_a, lo_b = cmd
+        if op == OP_EXTEND_FWD:
+            batch = self.ferret_fwd.extend(self._ch_fwd)
+            self.pools["cot/fwd"].append_batch(batch)
+            self.extends["fwd"] += 1
+        elif op == OP_EXTEND_REV:
+            batch = self.ferret_rev.extend(self._ch_rev)
+            self.pools["cot/rev"].append_batch(batch)
+            self.extends["rev"] += 1
+        elif op == OP_TRIPLES:
+            self._produce_triples(n, lo_a, lo_b)
+        elif op == OP_ROT_FWD:
+            self._produce_rots("fwd", n, lo_a)
+        elif op == OP_ROT_REV:
+            self._produce_rots("rev", n, lo_a)
+        else:
+            raise ServiceError(f"unknown provisioning opcode {op!r}")
+
+    def _produce_triples(self, n: int, lo_fwd: int, lo_rev: int) -> None:
+        """Both workers run one triple-generation batch in lockstep."""
+        fwd = self.pools["cot/fwd"].take_batch(lo_fwd, n)
+        rev = self.pools["cot/rev"].take_batch(lo_rev, n)
+        if self.party == 0:
+            send_pool, recv_pool = CotPool(sender=fwd), CotPool(receiver=rev)
+        else:
+            send_pool, recv_pool = CotPool(sender=rev), CotPool(receiver=fwd)
+        triples = generate_bit_triples(
+            self._ch_tri, n, send_pool, recv_pool, self._rng,
+            party=self.party, tweak_base=lo_fwd,
+        )
+        self.pools["tri"].append_columns((triples.a, triples.b, triples.c))
+
+    def _produce_rots(self, direction: str, n: int, lo: int) -> None:
+        """Figure 2 conversion of pooled COTs into random OTs (local)."""
+        batch = self.pools[f"cot/{direction}"].take_batch(lo, n)
+        am_sender = (self.party == 0) == (direction == "fwd")
+        if am_sender:
+            m0, m1 = cot_to_random_ot_sender(batch, tweak_base=lo)
+            self.pools[f"rot/{direction}"].append_columns((m0, m1))
+        else:
+            bits, chosen = cot_to_random_ot_receiver(batch, tweak_base=lo)
+            self.pools[f"rot/{direction}"].append_columns((bits, chosen))
+
+
+class ServiceSession:
+    """One consumer's handle on the service: typed draws + a channel.
+
+    The session's sub-channel carries both the allocation offsets and
+    whatever protocol traffic the consumer runs; peers must create
+    sessions with matching names and issue draws in the same order
+    (which any two-party protocol does naturally).
+    """
+
+    def __init__(self, service: CorrelationService, channel, name: str):
+        self.service = service
+        self.channel = channel
+        self.name = name
+
+    @property
+    def party(self) -> int:
+        return self.service.party
+
+    # -- allocation handshake ------------------------------------------------
+    def _alloc(self, kind: str, n: int) -> int:
+        """Party 0 reserves and announces the range; party 1 receives it."""
+        if self.party == 0:
+            lo = self.service.reserve(kind, n)
+            self.channel.send_int(lo)
+            return lo
+        return self.channel.recv_int()
+
+    def _take(self, kind: str, lo: int, n: int):
+        return self.service.pools[kind].take_batch(
+            lo, n, timeout=self.service.tuning.take_timeout_s
+        )
+
+    # -- typed draws ---------------------------------------------------------
+    def draw_sender_cots(self, n: int) -> tuple:
+        """(CotSenderBatch, absolute offset) in this party's send direction."""
+        kind = "cot/fwd" if self.party == 0 else "cot/rev"
+        lo = self._alloc(kind, n)
+        return self._take(kind, lo, n), lo
+
+    def draw_receiver_cots(self, n: int) -> tuple:
+        """(CotReceiverBatch, absolute offset); pairs the peer's sender draw."""
+        kind = "cot/rev" if self.party == 0 else "cot/fwd"
+        lo = self._alloc(kind, n)
+        return self._take(kind, lo, n), lo
+
+    def sender_cot_pool(self, n: int) -> CotPool:
+        batch, _ = self.draw_sender_cots(n)
+        return CotPool(sender=batch)
+
+    def receiver_cot_pool(self, n: int) -> CotPool:
+        batch, _ = self.draw_receiver_cots(n)
+        return CotPool(receiver=batch)
+
+    def draw_triples(self, n: int):
+        """This party's shares of n pooled Beaver bit triples."""
+        lo = self._alloc("tri", n)
+        return self.service.pools["tri"].take_triples(
+            lo, n, timeout=self.service.tuning.take_timeout_s
+        )
+
+    def draw_random_ots_send(self, n: int) -> tuple:
+        """(m0, m1) random-OT message pairs (this party is the sender)."""
+        kind = "rot/fwd" if self.party == 0 else "rot/rev"
+        lo = self._alloc(kind, n)
+        return self.service.pools[kind].take_pairs(
+            lo, n, timeout=self.service.tuning.take_timeout_s
+        )
+
+    def draw_random_ots_receive(self, n: int) -> tuple:
+        """(choice bits, chosen messages); pairs the peer's send draw."""
+        kind = "rot/rev" if self.party == 0 else "rot/fwd"
+        lo = self._alloc(kind, n)
+        return self.service.pools[kind].take_pairs(
+            lo, n, timeout=self.service.tuning.take_timeout_s
+        )
+
+    # -- chosen-message OT straight off the pool -----------------------------
+    def ot_send(self, messages0: np.ndarray, messages1: np.ndarray) -> None:
+        """Chosen-message OT sender over the session channel."""
+        n = messages0.shape[0]
+        batch, lo = self.draw_sender_cots(n)
+        tweaks = np.arange(lo, lo + n, dtype=np.uint64)
+        ot_send_from_cot(self.channel, batch, messages0, messages1, tweaks=tweaks)
+
+    def ot_receive(self, choices: np.ndarray) -> np.ndarray:
+        """Chosen-message OT receiver; returns messages[choices[i]]."""
+        n = np.asarray(choices).shape[0]
+        batch, lo = self.draw_receiver_cots(n)
+        tweaks = np.arange(lo, lo + n, dtype=np.uint64)
+        return ot_receive_from_cot(self.channel, batch, choices, tweaks=tweaks)

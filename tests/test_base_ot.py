@@ -100,3 +100,75 @@ class TestBaseOt:
         assert verify_cot(s, r)
         # sanity: choice bits not constant
         assert 0 < r.x.mean() < 1
+
+
+class TestBatchedSchedule:
+    """The batched wire schedule (one element blob, one payload) must be
+    output-equivalent to the sequential per-OT reference path."""
+
+    N = 24
+
+    def run_base_cot(self, batched, seed=77):
+        gen = np.random.default_rng(seed)
+        delta = blocks.random_blocks(1, gen)
+        choices = np.random.default_rng(seed + 1).integers(0, 2, self.N).astype(np.uint8)
+        r, y, s_stats, r_stats = run_pair(
+            lambda ch: base_cot_send(ch, self.N, delta, gen, batched=batched),
+            lambda ch: base_cot_receive(ch, choices, batched=batched),
+        )
+        return delta, choices, r, y, s_stats, r_stats
+
+    def test_batched_equivalent_to_sequential(self):
+        """Same seeds -> identical sender blocks and receiver outputs."""
+        d_b, c_b, r_b, y_b, _, _ = self.run_base_cot(batched=True)
+        d_s, c_s, r_s, y_s, _, _ = self.run_base_cot(batched=False)
+        assert np.array_equal(d_b, d_s) and np.array_equal(c_b, c_s)
+        assert np.array_equal(r_b, r_s)
+        assert np.array_equal(y_b, y_s)
+        assert verify_cot(CotSenderBatch(d_b, r_b), CotReceiverBatch(c_b, y_b))
+
+    def test_batched_collapses_message_count(self):
+        """Receiver: n element messages -> 1; whole protocol O(1) messages."""
+        _, _, _, _, s_seq, r_seq = self.run_base_cot(batched=False)
+        _, _, _, _, s_bat, r_bat = self.run_base_cot(batched=True)
+        assert r_seq.messages_sent == self.N  # one element per OT
+        assert r_bat.messages_sent == 1  # one blob for all OTs
+        assert s_bat.messages_sent == s_seq.messages_sent  # n, A, payload
+        # Round trips collapse to a constant as well.
+        assert r_bat.rounds <= 2 and s_bat.rounds <= 2
+
+    def test_batched_bytes_on_wire_match(self):
+        """Batching changes message boundaries, not the element bytes."""
+        _, _, _, _, s_seq, r_seq = self.run_base_cot(batched=False)
+        _, _, _, _, s_bat, r_bat = self.run_base_cot(batched=True)
+        assert r_bat.bytes_sent == r_seq.bytes_sent
+        assert s_bat.bytes_sent == s_seq.bytes_sent
+
+    def test_batched_chosen_message_ot(self, rng):
+        """base_ot (not just base_cot) also runs on the batched schedule."""
+        n = 10
+        m0 = blocks.random_blocks(n, rng)
+        m1 = blocks.random_blocks(n, rng)
+        choices = rng.integers(0, 2, n).astype(np.uint8)
+        _, got, _, _ = run_pair(
+            lambda ch: base_ot_send(ch, m0, m1, batched=True),
+            lambda ch: base_ot_receive(ch, choices, batched=True),
+        )
+        expect = np.where(choices[:, None].astype(bool), m1, m0)
+        assert np.array_equal(got, expect)
+
+    def test_mismatched_schedules_fail_loudly(self):
+        """A batched sender against a sequential receiver must not hang
+        or silently mis-deliver."""
+        from repro.errors import ReproError
+        from repro.ot.channel import PartyError
+
+        gen = np.random.default_rng(5)
+        delta = blocks.random_blocks(1, gen)
+        choices = gen.integers(0, 2, 4).astype(np.uint8)
+        with pytest.raises((PartyError, ReproError)):
+            run_pair(
+                lambda ch: base_cot_send(ch, 4, delta, gen, batched=True),
+                lambda ch: base_cot_receive(ch, choices, batched=False),
+                recv_timeout=2.0,
+            )

@@ -1,10 +1,12 @@
 """Channel accounting + pair-runner tests."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.crypto import blocks
-from repro.errors import ChannelError
+from repro.errors import ChannelError, ChannelTimeout
 from repro.ot.channel import LocalChannel, PartyError, run_pair
 
 
@@ -66,6 +68,27 @@ class TestLocalChannel:
         a, _ = LocalChannel.pair()
         with pytest.raises(ChannelError):
             a.recv_bytes(timeout=0.05)
+
+    def test_timeout_is_a_channel_error_subclass(self):
+        a, _ = LocalChannel.pair()
+        with pytest.raises(ChannelTimeout):
+            a.recv_bytes(timeout=0.05)
+
+    def test_pair_timeout_configurable(self):
+        """The old hardcoded 60 s is now a constructor/pair() argument."""
+        a, b = LocalChannel.pair(timeout=0.05)
+        assert a.timeout == 0.05 and b.timeout == 0.05
+        start = time.monotonic()
+        with pytest.raises(ChannelTimeout):
+            a.recv_bytes()  # uses the configured default, not 60 s
+        assert time.monotonic() - start < 5.0
+
+    def test_explicit_timeout_overrides_default(self):
+        a, _ = LocalChannel.pair(timeout=100.0)
+        start = time.monotonic()
+        with pytest.raises(ChannelTimeout):
+            a.recv_bytes(timeout=0.05)
+        assert time.monotonic() - start < 5.0
 
 
 class TestAccounting:
@@ -136,6 +159,24 @@ class TestRunPair:
 
         with pytest.raises(PartyError, match="boom"):
             run_pair(fail, idle)
+
+    def test_recv_timeout_surfaced_through_run_pair(self):
+        """run_pair(recv_timeout=...) reaches the channels, so paper-sized
+        runs can wait longer than the default without dying spuriously."""
+
+        def slow_sender(ch):
+            time.sleep(0.3)
+            ch.send_bytes(b"late")
+
+        def patient_receiver(ch):
+            return ch.recv_bytes()  # channel default must cover the delay
+
+        # A tiny recv_timeout fails...
+        with pytest.raises(PartyError):
+            run_pair(slow_sender, patient_receiver, recv_timeout=0.05)
+        # ...while an adequate one succeeds without per-call overrides.
+        _, got, _, _ = run_pair(slow_sender, patient_receiver, recv_timeout=5.0)
+        assert got == b"late"
 
     def test_interleaved_protocol(self, rng):
         data = blocks.random_blocks(4, rng)

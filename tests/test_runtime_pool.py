@@ -1,0 +1,200 @@
+"""Unit tests for the typed correlation pools (runtime/pool.py)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.crypto import blocks
+from repro.errors import ServiceError
+from repro.mpc.triples import BitTriples
+from repro.ot.cot import CotReceiverBatch, CotSenderBatch, verify_cot
+from repro.runtime.pool import (
+    CorrelationPool,
+    ReceiverCotPool,
+    SenderCotPool,
+    TriplePool,
+)
+
+
+def make_cot_arrays(n, seed=1):
+    gen = np.random.default_rng(seed)
+    delta = blocks.random_blocks(1, gen)
+    z = blocks.random_blocks(n, gen)
+    x = gen.integers(0, 2, n).astype(np.uint8)
+    y = blocks.xor(z, blocks.mul_bit(delta, x))
+    return delta, z, x, y
+
+
+class TestLevelsAndWatermarks:
+    def test_reserve_take_roundtrip(self):
+        delta, z, _, _ = make_cot_arrays(64)
+        pool = SenderCotPool("p", delta)
+        pool.append_batch(CotSenderBatch(delta, z))
+        lo = pool.reserve(10)
+        assert lo == 0
+        batch = pool.take_batch(lo, 10)
+        assert np.array_equal(batch.z, z[:10])
+        lo2 = pool.reserve(5)
+        assert lo2 == 10
+
+    def test_level_goes_negative_on_demand(self):
+        pool = TriplePool("tri", low_watermark=8)
+        assert pool.level == 0
+        pool.reserve(20)
+        assert pool.level == -20
+        assert pool.needs_refill()
+        assert pool.deficit >= 20
+
+    def test_refill_event_set_below_watermark(self):
+        delta, z, _, _ = make_cot_arrays(32)
+        pool = SenderCotPool("p", delta, low_watermark=16, high_watermark=32)
+        pool.append_batch(CotSenderBatch(delta, z))
+        assert not pool.refill.is_set()
+        pool.reserve(20)  # level 12 < 16
+        assert pool.refill.is_set()
+
+    def test_try_reserve_produced_refuses_unproduced(self):
+        delta, z, _, _ = make_cot_arrays(16)
+        pool = SenderCotPool("p", delta)
+        pool.append_batch(CotSenderBatch(delta, z))
+        assert pool.try_reserve_produced(10) == 0
+        assert pool.try_reserve_produced(10) is None  # only 6 left
+        assert pool.try_reserve_produced(6) == 10
+
+
+class TestBlockingAndBackpressure:
+    def test_take_blocks_until_produced(self):
+        delta, z, _, _ = make_cot_arrays(32)
+        pool = SenderCotPool("p", delta)
+        lo = pool.reserve(32)
+        got = {}
+
+        def taker():
+            got["batch"] = pool.take_batch(lo, 32, timeout=10.0)
+
+        t = threading.Thread(target=taker)
+        t.start()
+        time.sleep(0.1)
+        assert "batch" not in got  # still stalled
+        pool.append_batch(CotSenderBatch(delta, z))
+        t.join(5.0)
+        assert np.array_equal(got["batch"].z, z)
+        assert pool.stats.stalled_draws == 1
+        assert pool.stats.stall_time_s > 0
+        assert pool.stats.hit_rate == 0.0
+
+    def test_take_timeout_raises(self):
+        pool = TriplePool("tri")
+        lo = pool.reserve(4)
+        with pytest.raises(ServiceError, match="timed out"):
+            pool.take_triples(lo, 4, timeout=0.1)
+
+    def test_take_after_close_serves_already_produced_data(self):
+        """Shutdown must not strand data that is already in the buffer:
+        only takes of *unproduced* ranges fail after close."""
+        delta, z, _, _ = make_cot_arrays(16)
+        pool = SenderCotPool("p", delta)
+        pool.append_batch(CotSenderBatch(delta, z))
+        lo = pool.reserve(10)
+        pool.close()
+        batch = pool.take_batch(lo, 10)  # data existed before close
+        assert np.array_equal(batch.z, z[:10])
+        lo2 = pool.reserve(10)  # beyond what was ever produced
+        with pytest.raises(ServiceError, match="closed"):
+            pool.take_batch(lo2, 10, timeout=0.5)
+
+    def test_append_grows_capacity_geometrically(self):
+        """Many small refills must not degrade into per-append copies of
+        the whole buffer (amortized growth)."""
+        pool = TriplePool("tri")
+        gen = np.random.default_rng(3)
+        total = 0
+        for _ in range(50):
+            a = gen.integers(0, 2, 37).astype(np.uint8)
+            pool.append_columns((a, a, a))
+            total += 37
+        assert pool.produced == total
+        lo = pool.reserve(total)
+        t = pool.take_triples(lo, total)
+        assert len(t) == total
+        # Internal buffer over-allocates (capacity >= produced).
+        assert pool._columns[0].shape[0] >= total
+
+    def test_close_wakes_blocked_taker(self):
+        pool = TriplePool("tri")
+        lo = pool.reserve(4)
+        errors = []
+
+        def taker():
+            try:
+                pool.take_triples(lo, 4, timeout=30.0)
+            except ServiceError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=taker)
+        t.start()
+        time.sleep(0.05)
+        pool.close()
+        t.join(5.0)
+        assert len(errors) == 1
+
+
+class TestTypedPools:
+    def test_cot_pools_stay_correlated(self):
+        delta, z, x, y = make_cot_arrays(48)
+        sp = SenderCotPool("s", delta)
+        rp = ReceiverCotPool("r")
+        sp.append_batch(CotSenderBatch(delta, z))
+        rp.append_batch(CotReceiverBatch(x, y))
+        lo = sp.reserve(20)
+        rp.reserve(20)
+        sb = sp.take_batch(lo, 20)
+        rb = rp.take_batch(lo, 20)
+        assert verify_cot(sb, rb)
+
+    def test_triple_pool_roundtrip(self):
+        gen = np.random.default_rng(9)
+        a, b = gen.integers(0, 2, 30).astype(np.uint8), gen.integers(0, 2, 30).astype(np.uint8)
+        pool = TriplePool("tri")
+        pool.append_columns((a, b, a & b))
+        lo = pool.reserve(30)
+        t = pool.take_triples(lo, 30)
+        assert isinstance(t, BitTriples)
+        assert np.array_equal(t.c, t.a & t.b)
+
+    def test_out_of_order_takes_and_trim(self):
+        """Sessions may take reserved ranges out of order; the buffer is
+        trimmed only once the contiguous prefix is consumed."""
+        pool = CorrelationPool("raw", n_columns=1, trim_chunk=64)
+        data = np.arange(256, dtype=np.uint64)
+        pool.append_columns((data,))
+        lo_a = pool.reserve(64)
+        lo_b = pool.reserve(64)
+        lo_c = pool.reserve(64)
+        (b_vals,) = pool.take_columns(lo_b, 64)  # out of order
+        assert np.array_equal(b_vals, data[64:128])
+        (a_vals,) = pool.take_columns(lo_a, 64)
+        (c_vals,) = pool.take_columns(lo_c, 64)
+        assert np.array_equal(a_vals, data[:64])
+        assert np.array_equal(c_vals, data[128:192])
+        # Prefix [0, 192) was trimmed; absolute indexing still works.
+        lo_d = pool.reserve(32)
+        (d_vals,) = pool.take_columns(lo_d, 32)
+        assert np.array_equal(d_vals, data[192:224])
+        with pytest.raises(ServiceError, match="trimmed"):
+            pool.take_columns(lo_a, 8)
+
+    def test_stats_accumulate(self):
+        delta, z, _, _ = make_cot_arrays(100)
+        pool = SenderCotPool("p", delta)
+        pool.append_batch(CotSenderBatch(delta, z))
+        for _ in range(4):
+            lo = pool.reserve(25)
+            pool.take_batch(lo, 25)
+        s = pool.stats
+        assert s.draws == 4 and s.items_drawn == 100
+        assert s.refills == 1 and s.items_refilled == 100
+        assert s.hit_rate == 1.0
+        assert s.as_dict()["items_drawn"] == 100
