@@ -1,19 +1,26 @@
 #!/usr/bin/env python
-"""A private-inference preprocessing service, live.
+"""A private-inference service with an explicit preprocessing phase.
 
 The paper's Figure 1(b) argument is that OT extension is a *service*:
 pay the public-key Init once, then stream correlations to whoever needs
-them.  This example runs that shape end to end:
+them -- and Section 5.2's point is that for PPML those correlations are
+**preprocessing**: produced ahead of time, merely consumed online.
+This example runs the whole shape end to end:
 
 * two parties share ONE duplex link, multiplexed into tagged
   sub-channels (`prov/*` for the background Ferret extends and triple
-  generation, `sess/*` for consumers);
+  production, `sess/*` for consumers);
 * a :class:`repro.runtime.CorrelationService` per party keeps typed
-  pools (COTs both directions, bit triples, random OTs) above their
-  low watermarks in a worker thread;
-* four concurrent consumer sessions -- two ReLU batches, a MaxPool
-  window, and a GMW AND layer -- draw correlations simultaneously,
-  never touching Ferret directly.
+  pools (COTs both directions, bit/ring/matrix triples, random OTs)
+  above their low watermarks in a worker thread;
+* a **preprocessing planner** walks a tiny MLP graph, computes its
+  exact correlation demand (matrix-triple shapes for the linear
+  layers, comparison COTs + bit triples for ReLU) and prefills the
+  pools (``plan -> prefill``);
+* the **online phase** then runs five concurrent consumer sessions --
+  the planned MLP inference (secure MatMul, ReLU, secure MatMul), two
+  ReLU batches, a MaxPool window, and a GMW AND layer -- with the
+  planned session drawing every correlation instantly from warm pools.
 
 Run:  python examples/inference_service.py
 """
@@ -23,21 +30,47 @@ import threading
 import numpy as np
 
 from repro.ferret.config import FerretConfig
+from repro.mpc.matmul import matmul_via_service
 from repro.mpc.maxpool import max_via_service
 from repro.mpc.relu import relu_via_service
 from repro.mpc.sharing import (
+    ArithmeticShares,
     from_signed,
     reconstruct_arith,
-    reconstruct_bool,
     share_arith,
+    share_arith_nd,
     share_bool,
     to_signed,
 )
-from repro.mpc.triples import and_shared, triples_via_service
-from repro.ot.channel import LocalChannel
+from repro.mpc.triples import and_shared, ring_mask_u64, triples_via_service
+from repro.ot.channel import LocalChannel, run_concurrently
+from repro.ppml.layers import Activation, Graph, Linear
+from repro.ppml.plan import plan_graph
 from repro.runtime import CorrelationService, MuxChannel, ServiceTuning
+from repro.utils.tables import print_table
 
 BITS = 14
+RING_BITS = 16
+MASK = ring_mask_u64(RING_BITS)
+
+# The planned model: x (4x12) @ W1 (12x6) -> ReLU -> @ W2 (6x3).
+M, K, H, OUT = 4, 12, 6, 3
+
+
+def build_model() -> Graph:
+    g = Graph("TinyMLP", (M, K))
+    g.add(Linear(H))
+    g.add(Activation("relu"))
+    g.add(Linear(OUT))
+    return g
+
+
+def consumer_inference(session, x_sh, w1_sh, w2_sh, seed):
+    """The planned MLP online phase: matmul -> relu -> matmul."""
+    rng = np.random.default_rng(seed)
+    h = matmul_via_service(session, x_sh, w1_sh)
+    r, _ = relu_via_service(session, ArithmeticShares(h.reshape(-1), RING_BITS), rng)
+    return matmul_via_service(session, r.values.astype(np.uint64).reshape(M, H), w2_sh)
 
 
 def consumer_relu(session, shares, seed):
@@ -78,11 +111,37 @@ def main():
     # One duplex link; everything below shares it through the mux.
     base0, base1 = LocalChannel.pair(timeout=120.0)
     mux0, mux1 = MuxChannel(base0), MuxChannel(base1)
-    tuning = ServiceTuning(triple_low=512, triple_high=2048, triple_chunk=512)
+    tuning = ServiceTuning(
+        ring_bits=RING_BITS, triple_low=512, triple_high=2048, triple_chunk=512
+    )
     svc0 = CorrelationService(0, mux0, cfg, tuning).start()
     svc1 = CorrelationService(1, mux1, cfg, tuning).start()
 
-    # Secret inputs, shared.
+    # ---- preprocessing phase: plan the model, prefill the pools -----------
+    model = build_model()
+    plan = plan_graph(model, bits=RING_BITS)
+    print()
+    print_table(
+        ["layer", "cot_fwd", "cot_rev", "bit triples", "matrix"],
+        plan.summary_rows(),
+        title=f"preprocessing plan: {plan.model}",
+    )
+    run_concurrently(
+        lambda: plan.prefill(svc0, timeout=180.0),
+        lambda: plan.prefill(svc1, timeout=180.0),
+    )
+    print("pools prefilled:", ", ".join(
+        f"{kind}>={count}" for kind, count in sorted(plan.pool_targets().items())
+    ))
+
+    # ---- secret inputs ----------------------------------------------------
+    x_plain = rng.integers(0, 4, (M, K)).astype(np.uint64)
+    w1_plain = rng.integers(0, 3, (K, H)).astype(np.uint64)
+    w2_plain = rng.integers(0, 3, (H, OUT)).astype(np.uint64)
+    x_sh = share_arith_nd(x_plain, rng, bits=RING_BITS)
+    w1_sh = share_arith_nd(w1_plain, rng, bits=RING_BITS)
+    w2_sh = share_arith_nd(w2_plain, rng, bits=RING_BITS)
+
     acts_a = rng.integers(-2000, 2000, 24)
     acts_b = rng.integers(-2000, 2000, 24)
     win_x = rng.integers(-2000, 2000, 12)
@@ -96,13 +155,16 @@ def main():
     gx0, gx1 = share_bool(gate_x, rng)
     gy0, gy1 = share_bool(gate_y, rng)
 
+    # ---- online phase: five concurrent sessions ---------------------------
     jobs0 = [
+        ("mlp", lambda s: consumer_inference(s, x_sh[0], w1_sh[0], w2_sh[0], 30)),
         ("relu-a", lambda s: consumer_relu(s, a0, 10)),
         ("relu-b", lambda s: consumer_relu(s, b0, 11)),
         ("maxpool", lambda s: consumer_maxpool(s, wx0, wy0, 12)),
         ("and-layer", lambda s: consumer_and_layer(s, gx0.bits_vec, gy0.bits_vec, 0)),
     ]
     jobs1 = [
+        ("mlp", lambda s: consumer_inference(s, x_sh[1], w1_sh[1], w2_sh[1], 40)),
         ("relu-a", lambda s: consumer_relu(s, a1, 20)),
         ("relu-b", lambda s: consumer_relu(s, b1, 21)),
         ("maxpool", lambda s: consumer_maxpool(s, wx1, wy1, 22)),
@@ -116,6 +178,9 @@ def main():
     svc0.stop()
     svc1.stop()
 
+    mlp = (results[(0, "mlp")] + results[(1, "mlp")]) & MASK
+    expect = ((np.maximum(0, (x_plain @ w1_plain).astype(np.int64)).astype(np.uint64))
+              @ w2_plain) & MASK
     relu_a = to_signed(
         reconstruct_arith(results[(0, "relu-a")], results[(1, "relu-a")]), BITS
     )
@@ -126,23 +191,25 @@ def main():
         reconstruct_arith(results[(0, "maxpool")], results[(1, "maxpool")]), BITS
     )
     gates = results[(0, "and-layer")] ^ results[(1, "and-layer")]
+    assert np.array_equal(mlp, expect)
     assert np.array_equal(relu_a, np.maximum(acts_a, 0))
     assert np.array_equal(relu_b, np.maximum(acts_b, 0))
     assert np.array_equal(mx, np.maximum(win_x, win_y))
     assert np.array_equal(gates, gate_x & gate_y)
-    print("4 concurrent sessions finished; all reconstructions correct")
+    print("5 concurrent sessions finished; all reconstructions correct")
+    print(f"planned MLP inference output verified against plaintext {expect.shape}")
 
     print(f"\nextends run: fwd={svc0.extends['fwd']}, rev={svc0.extends['rev']}")
     print("pool stats (party 0):")
-    for kind, stats in svc0.pool_stats().items():
+    for kind, stats in sorted(svc0.pool_stats().items()):
         print(
-            f"  {kind:8s} drawn={stats['items_drawn']:6d} "
+            f"  {kind:12s} drawn={stats['items_drawn']:6d} "
             f"refills={stats['refills']:3d} hit_rate={stats['hit_rate']:.2f} "
             f"stall={stats['stall_time_s']:.2f}s"
         )
     print("link attribution (party 0, bytes sent by tag):")
     for tag, stats in sorted(mux0.stats_by_tag().items()):
-        print(f"  {tag:10s} {stats.bytes_sent:9,d} B  rounds={stats.rounds}")
+        print(f"  {tag:12s} {stats.bytes_sent:9,d} B  rounds={stats.rounds}")
     prov = sum(
         s.bytes_sent for t, s in mux0.stats_by_tag().items() if t.startswith("prov/")
     )

@@ -40,6 +40,52 @@ MODP_2048_P = int(
 )
 
 
+class FixedBaseExp:
+    """Windowed fixed-base modular exponentiation.
+
+    The base-OT Init computes many powers of the *same* base (the
+    receiver raises ``g`` once per OT), so a one-time table of
+    ``base^(d * 2^(w*i)) mod p`` turns every later exponentiation into
+    ~``exp_bits/w`` modular multiplications instead of a full
+    square-and-multiply ladder.  This is the classic fixed-base comb
+    that the ROADMAP names as the last setup bottleneck (~8 ms/OT of
+    pure-Python modexp).
+    """
+
+    def __init__(self, base: int, modulus: int, exp_bits: int, window: int = 5):
+        if window < 1 or exp_bits < 1:
+            raise ParameterError("window and exponent width must be positive")
+        self.base = base % modulus
+        self.modulus = modulus
+        self.exp_bits = exp_bits
+        self.window = window
+        radix = 1 << window
+        self._radix_mask = radix - 1
+        self._table = []
+        g_pow = self.base  # base^(2^(window*i)) as i advances
+        for _ in range((exp_bits + window - 1) // window):
+            row = [1] * radix
+            for d in range(1, radix):
+                row[d] = (row[d - 1] * g_pow) % modulus
+            self._table.append(row)
+            g_pow = (row[radix - 1] * g_pow) % modulus
+        self._cap = 1 << (len(self._table) * window)
+
+    def exp(self, scalar: int) -> int:
+        """base^scalar mod p (falls back to ``pow`` out of table range)."""
+        if scalar < 0 or scalar >= self._cap:
+            return pow(self.base, scalar, self.modulus)
+        acc = 1
+        i = 0
+        while scalar:
+            digit = scalar & self._radix_mask
+            if digit:
+                acc = (acc * self._table[i][digit]) % self.modulus
+            scalar >>= self.window
+            i += 1
+        return acc
+
+
 class SchnorrGroup:
     """The order-q subgroup of quadratic residues mod a safe prime p = 2q+1."""
 
@@ -50,6 +96,7 @@ class SchnorrGroup:
         self.q = (p - 1) // 2
         # Square the generator so it lands in the QR subgroup of order q.
         self.g = pow(g, 2, p)
+        self._g_table = None  # fixed-base table, built on first gexp()
 
     def random_scalar(self) -> int:
         """Uniform exponent in [1, q)."""
@@ -60,8 +107,16 @@ class SchnorrGroup:
         return pow(base, scalar, self.p)
 
     def gexp(self, scalar: int) -> int:
-        """g^scalar mod p."""
-        return pow(self.g, scalar, self.p)
+        """g^scalar mod p via the precomputed fixed-base window table.
+
+        Equivalent to ``pow(g, scalar, p)`` for every scalar (the table
+        covers exponents up to q; anything else falls back to ``pow``),
+        but ~spends one multiplication per window instead of a full
+        ladder -- the hot call of the base-OT receiver.
+        """
+        if self._g_table is None:
+            self._g_table = FixedBaseExp(self.g, self.p, self.q.bit_length())
+        return self._g_table.exp(scalar)
 
     def mul(self, a: int, b: int) -> int:
         """a * b mod p."""

@@ -17,8 +17,23 @@ from repro.mpc.sharing import (
     share_arith,
     share_bool,
 )
-from repro.mpc.triples import BitTriples, generate_bit_triples
+from repro.mpc.triples import (
+    BitTriples,
+    MatrixTriples,
+    RingTriples,
+    generate_bit_triples,
+    generate_ring_triples,
+    mul_shared,
+)
 from repro.mpc.compare import millionaire_p0, millionaire_p1
+from repro.mpc.matmul import (
+    FIG16_DIMS,
+    MatmulDims,
+    generate_matrix_triples,
+    matmul_cots,
+    matmul_online,
+    matmul_via_service,
+)
 from repro.mpc.maxpool import max_pair
 from repro.mpc.relu import drelu_pair, relu_pair
 
@@ -26,11 +41,21 @@ __all__ = [
     "ArithmeticShares",
     "BitTriples",
     "BooleanShares",
+    "FIG16_DIMS",
+    "MatmulDims",
+    "MatrixTriples",
+    "RingTriples",
     "drelu_pair",
     "generate_bit_triples",
+    "generate_matrix_triples",
+    "generate_ring_triples",
+    "matmul_cots",
+    "matmul_online",
+    "matmul_via_service",
     "max_pair",
     "millionaire_p0",
     "millionaire_p1",
+    "mul_shared",
     "reconstruct_arith",
     "reconstruct_bool",
     "relu_pair",

@@ -73,6 +73,19 @@ def share_arith(values: np.ndarray, rng: np.random.Generator, bits: int = DEFAUL
     )
 
 
+def share_arith_nd(values: np.ndarray, rng: np.random.Generator, bits: int = DEFAULT_BITS) -> tuple:
+    """Additively share an array of ANY shape into two raw uint64 arrays.
+
+    The matrix protocols (secure MatMul) work on raw ``(m, k)`` uint64
+    share arrays rather than the 1-D :class:`ArithmeticShares`
+    container; this is their sharing entry point.
+    """
+    mask = np.uint64(ring_mask(bits))
+    values = np.asarray(values, dtype=np.uint64) & mask
+    share0 = rng.integers(0, 1 << bits, values.shape, dtype=np.uint64)
+    return share0, (values - share0) & mask
+
+
 def reconstruct_arith(a: ArithmeticShares, b: ArithmeticShares) -> np.ndarray:
     """Recombine additive shares into plaintext (mod 2^bits)."""
     if a.bits != b.bits or len(a) != len(b):

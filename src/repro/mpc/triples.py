@@ -1,4 +1,4 @@
-"""Beaver bit triples from OT correlations.
+"""Beaver triples from OT correlations: bits, ring elements, matrices.
 
 A bit triple gives the parties XOR shares of bits (a, b, c) with
 ``c = a AND b``; one triple evaluates one AND gate on shared bits
@@ -6,6 +6,21 @@ A bit triple gives the parties XOR shares of bits (a, b, c) with
 ``a1*b0`` -- one chosen-message OT in each direction, which is exactly
 the role-switching workload Ironman's unified architecture serves
 (Section 5.2).
+
+Arithmetic (mod 2^k) triples use the same COT substrate through
+**Gilboa multiplication**: the cross product ``x * y`` of two privately
+held ring elements decomposes over the bits of x -- for bit position t
+the holder of y (the OT *sender*) offers the correlated pair
+``(r_t, r_t + y*2^t)`` and the holder of x selects with its t-th bit.
+On a COT correlation the chosen-message pair collapses to *half a
+message*: the receiver derandomizes with one correction bit and the
+sender ships a single masked ring element per correlation
+(:func:`gilboa_send` / :func:`gilboa_receive`), the per-COT online
+payload the analytical models charge.  Ring triples consume
+``bits`` COTs per element per direction; matrix triples batch whole
+rows/columns of the peer operand as the correlated payload, which is
+how one secure MatMul costs ``(m*k + k*n) * bits`` COTs rather than
+``m*k*n`` (see :mod:`repro.mpc.matmul`).
 """
 
 from __future__ import annotations
@@ -15,9 +30,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.crypto import blocks
-from repro.errors import ParameterError
+from repro.crypto.crhf import DEFAULT_CRHF, Crhf
+from repro.errors import ParameterError, ProtocolError
 from repro.ot.channel import Channel
-from repro.ot.cot import CotPool
+from repro.ot.cot import CotPool, CotReceiverBatch, CotSenderBatch
 from repro.ot.ot_from_cot import ot_receive_from_cot, ot_send_from_cot
 
 
@@ -114,6 +130,302 @@ def triples_via_service(session, n: int) -> BitTriples:
     the session channel plus a possible stall if the pool is behind.
     """
     return session.draw_triples(n)
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic (mod 2^k) triples via Gilboa multiplication
+# ---------------------------------------------------------------------------
+
+#: Tweak stride separating the payload slots one COT pads (a Gilboa
+#: payload wider than two ring elements hashes the block repeatedly).
+_PAD_STRIDE = np.uint64(1) << np.uint64(48)
+
+
+def ring_mask_u64(bits: int) -> np.uint64:
+    """The mod-2^bits reduction mask as a uint64 scalar."""
+    if bits < 1 or bits > 64:
+        raise ParameterError("ring width must be in [1, 64] bits")
+    return np.uint64((1 << bits) - 1)
+
+
+def _expand_ring_pads(
+    x: np.ndarray, tweaks: np.ndarray, width: int, crhf: Crhf
+) -> np.ndarray:
+    """Stretch one block per COT into ``width`` uint64 ring pads."""
+    n = x.shape[0]
+    n_hashes = (width + 1) // 2
+    out = np.empty((n, 2 * n_hashes), dtype=np.uint64)
+    tweaks = np.asarray(tweaks, dtype=np.uint64)
+    for j in range(n_hashes):
+        h = crhf.hash_tweaked(x, tweaks + np.uint64(j) * _PAD_STRIDE)
+        out[:, 2 * j] = h[:, 0]
+        out[:, 2 * j + 1] = h[:, 1]
+    return out[:, :width]
+
+
+def gilboa_send(
+    channel: Channel,
+    cots: CotSenderBatch,
+    corr: np.ndarray,
+    bits: int,
+    tweaks: np.ndarray,
+    crhf: Crhf = DEFAULT_CRHF,
+) -> np.ndarray:
+    """Correlated-OT sender: additive share of ``choice_i * corr[i]``.
+
+    For each correlation i the receiver ends with ``pad_i +
+    choice_i*corr[i]`` and this side returns ``-pad_i``, so the two
+    outputs are additive shares of the selected correlated value.  Wire
+    cost is the Gilboa half-message: the receiver's one derandomization
+    bit plus ONE masked ring element per payload slot (not the two
+    full messages of a chosen-message OT).
+
+    Args:
+        corr: (n, width) uint64 ring correlations (already reduced).
+        bits: ring width (mod 2^bits).
+        tweaks: (n,) per-COT hash tweaks (absolute COT indices).
+    """
+    corr = np.ascontiguousarray(corr, dtype=np.uint64)
+    if corr.ndim != 2 or corr.shape[0] != len(cots):
+        raise ProtocolError("corr must be (n_cots, width)")
+    mask = ring_mask_u64(bits)
+    d = channel.recv_bits()
+    if d.shape[0] != len(cots):
+        raise ProtocolError("correction bit vector has the wrong length")
+    width = corr.shape[1]
+    # Pad for logical choice j is expand(z XOR (j XOR d) * Delta).
+    pad0 = _expand_ring_pads(
+        blocks.xor(cots.z, blocks.mul_bit(cots.delta, d)), tweaks, width, crhf
+    ) & mask
+    pad1 = _expand_ring_pads(
+        blocks.xor(cots.z, blocks.mul_bit(cots.delta, d ^ 1)), tweaks, width, crhf
+    ) & mask
+    channel.send_ring((corr + pad0 + pad1) & mask)
+    return (np.uint64(0) - pad0) & mask
+
+
+def gilboa_receive(
+    channel: Channel,
+    cots: CotReceiverBatch,
+    choices: np.ndarray,
+    width: int,
+    bits: int,
+    tweaks: np.ndarray,
+    crhf: Crhf = DEFAULT_CRHF,
+) -> np.ndarray:
+    """Correlated-OT receiver: additive share of ``choice_i * corr[i]``."""
+    choices = np.asarray(choices, dtype=np.uint8) & 1
+    if choices.shape[0] != len(cots):
+        raise ProtocolError("COT batch and choice vector must have equal length")
+    mask = ring_mask_u64(bits)
+    channel.send_bits(cots.x ^ choices)
+    pad_mine = _expand_ring_pads(cots.y, tweaks, width, crhf) & mask
+    c = channel.recv_ring().reshape(choices.shape[0], width)
+    return np.where(choices[:, None].astype(bool), (c - pad_mine) & mask, pad_mine)
+
+
+@dataclass
+class RingTriples:
+    """One party's additive shares of n triples (a, b, c = a*b) mod 2^bits."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    bits: int = 32
+
+    def __post_init__(self):
+        mask = ring_mask_u64(self.bits)
+        self.a = np.asarray(self.a, dtype=np.uint64) & mask
+        self.b = np.asarray(self.b, dtype=np.uint64) & mask
+        self.c = np.asarray(self.c, dtype=np.uint64) & mask
+        if not (self.a.shape == self.b.shape == self.c.shape):
+            raise ParameterError("triple component lengths disagree")
+
+    def __len__(self) -> int:
+        return self.a.shape[0]
+
+    def take(self, n: int) -> "RingTriples":
+        """Split off the first n triples (consuming them)."""
+        if n > len(self):
+            raise ParameterError(f"only {len(self)} ring triples left, need {n}")
+        head = RingTriples(self.a[:n], self.b[:n], self.c[:n], self.bits)
+        self.a, self.b, self.c = self.a[n:], self.b[n:], self.c[n:]
+        return head
+
+
+@dataclass
+class MatrixTriples:
+    """One party's shares of a matrix Beaver triple: C = A @ B mod 2^bits.
+
+    ``a`` is (m, k), ``b`` is (k, n), ``c`` is (m, n); one triple
+    preprocesses one secure MatMul of those dimensions (the online
+    phase only opens masked operands, see :mod:`repro.mpc.matmul`).
+    """
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    bits: int = 32
+
+    def __post_init__(self):
+        mask = ring_mask_u64(self.bits)
+        self.a = np.asarray(self.a, dtype=np.uint64) & mask
+        self.b = np.asarray(self.b, dtype=np.uint64) & mask
+        self.c = np.asarray(self.c, dtype=np.uint64) & mask
+        m, k = self.a.shape
+        k2, n = self.b.shape
+        if k != k2 or self.c.shape != (m, n):
+            raise ParameterError("matrix triple shapes are inconsistent")
+
+    @property
+    def dims(self) -> tuple:
+        return (self.a.shape[0], self.a.shape[1], self.b.shape[1])
+
+
+def _bit_decompose(values: np.ndarray, bits: int) -> np.ndarray:
+    """Flatten ring values into per-bit OT choices, (n*bits,) uint8."""
+    values = np.asarray(values, dtype=np.uint64).reshape(-1)
+    positions = np.arange(bits, dtype=np.uint64)
+    return ((values[:, None] >> positions[None, :]) & np.uint64(1)).astype(
+        np.uint8
+    ).reshape(-1)
+
+
+def _gilboa_cross_send(channel, pool: CotPool, payload, bits, tweak_base) -> np.ndarray:
+    """Sender half of a scalar cross term: share of (their a) * (my payload)."""
+    payload = np.asarray(payload, dtype=np.uint64)
+    n = payload.shape[0]
+    mask = ring_mask_u64(bits)
+    shifts = np.uint64(1) << np.arange(bits, dtype=np.uint64)
+    corr = ((payload[:, None] * shifts[None, :]) & mask).reshape(n * bits, 1)
+    tweaks = np.arange(tweak_base, tweak_base + n * bits, dtype=np.uint64)
+    s = gilboa_send(channel, pool.take_sender(n * bits), corr, bits, tweaks)
+    return s.reshape(n, bits).sum(axis=1, dtype=np.uint64) & mask
+
+
+def _gilboa_cross_receive(channel, pool: CotPool, my_vals, bits, tweak_base) -> np.ndarray:
+    """Receiver half: share of (my value) * (their payload)."""
+    my_vals = np.asarray(my_vals, dtype=np.uint64)
+    n = my_vals.shape[0]
+    mask = ring_mask_u64(bits)
+    choices = _bit_decompose(my_vals, bits)
+    tweaks = np.arange(tweak_base, tweak_base + n * bits, dtype=np.uint64)
+    t = gilboa_receive(channel, pool.take_receiver(n * bits), choices, 1, bits, tweaks)
+    return t.reshape(n, bits).sum(axis=1, dtype=np.uint64) & mask
+
+
+def ring_triple_cots(n: int, bits: int) -> int:
+    """COTs n ring triples consume in EACH direction (bits per element)."""
+    return n * bits
+
+
+def generate_ring_triples(
+    channel: Channel,
+    n: int,
+    bits: int,
+    send_pool: CotPool,
+    recv_pool: CotPool,
+    rng: np.random.Generator,
+    party: int,
+    send_tweak_base: int = 0,
+    recv_tweak_base: int = 0,
+) -> RingTriples:
+    """Generate n mod-2^bits Beaver triples; both parties call symmetrically.
+
+    Cross term 1 is ``a0*b1`` (P0 selects with its bits of a, P1 ships
+    payloads of b) and runs over the direction where P1 is the COT
+    sender; cross term 2 is ``a1*b0`` the other way around -- the same
+    role-switching shape as bit triples, ``n*bits`` COTs per direction.
+
+    Tweak bases must equal the absolute pool offsets of the consumed
+    ranges (per direction) so both parties hash with matching tweaks.
+    """
+    mask = ring_mask_u64(bits)
+    a = rng.integers(0, 1 << bits, n, dtype=np.uint64)
+    b = rng.integers(0, 1 << bits, n, dtype=np.uint64)
+    if party == 0:
+        # term 1: choices from a0, payload b1 (P0 receives).
+        t1 = _gilboa_cross_receive(channel, recv_pool, a, bits, recv_tweak_base)
+        # term 2: choices from a1, payload b0 (P0 sends).
+        t2 = _gilboa_cross_send(channel, send_pool, b, bits, send_tweak_base)
+    elif party == 1:
+        t1 = _gilboa_cross_send(channel, send_pool, b, bits, send_tweak_base)
+        t2 = _gilboa_cross_receive(channel, recv_pool, a, bits, recv_tweak_base)
+    else:
+        raise ParameterError("party must be 0 or 1")
+    c = (a * b + t1 + t2) & mask
+    return RingTriples(a, b, c, bits)
+
+
+def dealer_ring_triples(n: int, bits: int, rng: np.random.Generator) -> tuple:
+    """Trusted-dealer ring triples: (party0 shares, party1 shares)."""
+    mask = ring_mask_u64(bits)
+    a = rng.integers(0, 1 << bits, n, dtype=np.uint64)
+    b = rng.integers(0, 1 << bits, n, dtype=np.uint64)
+    c = (a * b) & mask
+    a0 = rng.integers(0, 1 << bits, n, dtype=np.uint64)
+    b0 = rng.integers(0, 1 << bits, n, dtype=np.uint64)
+    c0 = rng.integers(0, 1 << bits, n, dtype=np.uint64)
+    return (
+        RingTriples(a0, b0, c0, bits),
+        RingTriples((a - a0) & mask, (b - b0) & mask, (c - c0) & mask, bits),
+    )
+
+
+def dealer_matrix_triples(
+    m: int, k: int, n: int, bits: int, rng: np.random.Generator
+) -> tuple:
+    """Trusted-dealer matrix triple shares (for tests and cost studies)."""
+    mask = ring_mask_u64(bits)
+    a = rng.integers(0, 1 << bits, (m, k), dtype=np.uint64)
+    b = rng.integers(0, 1 << bits, (k, n), dtype=np.uint64)
+    c = (a @ b) & mask
+    a0 = rng.integers(0, 1 << bits, (m, k), dtype=np.uint64)
+    b0 = rng.integers(0, 1 << bits, (k, n), dtype=np.uint64)
+    c0 = rng.integers(0, 1 << bits, (m, n), dtype=np.uint64)
+    return (
+        MatrixTriples(a0, b0, c0, bits),
+        MatrixTriples((a - a0) & mask, (b - b0) & mask, (c - c0) & mask, bits),
+    )
+
+
+def ring_triples_via_service(session, n: int) -> RingTriples:
+    """Draw n pooled mod-2^k triples from a provisioning-service session."""
+    return session.draw_ring_triples(n)
+
+
+def mul_shared(
+    channel: Channel,
+    triples: RingTriples,
+    x: np.ndarray,
+    y: np.ndarray,
+    party: int,
+) -> np.ndarray:
+    """Beaver multiplication of additively shared ring vectors.
+
+    Both parties open ``d = x - a`` and ``e = y - b`` (one message
+    each) and return this party's share of ``x * y`` mod 2^bits.
+    """
+    mask = ring_mask_u64(triples.bits)
+    x = np.asarray(x, dtype=np.uint64) & mask
+    y = np.asarray(y, dtype=np.uint64) & mask
+    n = x.shape[0]
+    batch = triples.take(n)
+    d_share = (x - batch.a) & mask
+    e_share = (y - batch.b) & mask
+    mine = np.concatenate([d_share, e_share])
+    if party == 0:
+        channel.send_ring(mine)
+        theirs = channel.recv_ring()
+    else:
+        theirs = channel.recv_ring()
+        channel.send_ring(mine)
+    d = (d_share + theirs[:n]) & mask
+    e = (e_share + theirs[n:]) & mask
+    share = (batch.c + d * batch.b + e * batch.a) & mask
+    if party == 0:
+        share = (share + d * e) & mask
+    return share
 
 
 def and_shared(

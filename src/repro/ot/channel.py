@@ -99,6 +99,14 @@ class Channel:
         bits = np.unpackbits(np.frombuffer(data[8:], dtype=np.uint8), bitorder="little")
         return bits[:n].copy()
 
+    def send_ring(self, arr: np.ndarray) -> None:
+        """Send a uint64 ring-element array (flattened, raw bytes)."""
+        self.send_bytes(np.ascontiguousarray(arr, dtype=np.uint64).tobytes())
+
+    def recv_ring(self) -> np.ndarray:
+        """Receive a flat uint64 ring-element vector."""
+        return np.frombuffer(self.recv_bytes(), dtype=np.uint64).copy()
+
     def send_int(self, value: int, width: int = 8) -> None:
         """Send a non-negative integer in ``width`` little-endian bytes."""
         self.send_bytes(int(value).to_bytes(width, "little"))
@@ -288,6 +296,37 @@ class SocketListener:
 
 class PartyError(ChannelError):
     """One side of a :func:`run_pair` execution raised; wraps the cause."""
+
+
+def run_concurrently(fn_a, fn_b, timeout: float = 300.0) -> tuple:
+    """Run two zero-argument party callables in parallel threads.
+
+    Like :func:`run_pair` but for callables already bound to their
+    endpoints (service sessions, prefill drivers): returns
+    ``(result_a, result_b)``, re-raises either side's exception as
+    :class:`PartyError`, and treats a join timeout as a deadlock --
+    failures can never be silently swallowed in a worker thread.
+    """
+    results = {}
+    errors = {}
+
+    def runner(name, fn):
+        try:
+            results[name] = fn()
+        except BaseException as exc:  # noqa: BLE001 - must cross the thread
+            errors[name] = exc
+
+    t_a = threading.Thread(target=runner, args=("a", fn_a), daemon=True)
+    t_b = threading.Thread(target=runner, args=("b", fn_b), daemon=True)
+    t_a.start()
+    t_b.start()
+    t_a.join(timeout)
+    t_b.join(timeout)
+    for name, exc in errors.items():
+        raise PartyError(f"party {name!r} failed: {exc!r}") from exc
+    if t_a.is_alive() or t_b.is_alive():
+        raise ChannelError("parties deadlocked (thread still alive after timeout)")
+    return results.get("a"), results.get("b")
 
 
 def run_pair(

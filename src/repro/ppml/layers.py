@@ -200,18 +200,27 @@ class Graph:
         self.input_shape = tuple(input_shape)
         self.shape = tuple(input_shape)
         self.cost = LayerCost(nonlinear={})
-        self.layer_log: list = []
+        #: Full (layer, in_shape, out_shape) record of every applied
+        #: layer -- what the preprocessing planner walks to turn a model
+        #: into exact per-layer correlation demand.
+        self.trace: list = []
+
+    @property
+    def layer_log(self) -> list:
+        """(name, out_shape) view of the trace (legacy accessor)."""
+        return [(layer.name, out) for layer, _, out in self.trace]
 
     def add(self, layer: Layer) -> "Graph":
+        in_shape = self.shape
         self.shape, cost = layer.apply(self.shape)
         self.cost.merge(cost)
-        self.layer_log.append((layer.name, self.shape))
+        self.trace.append((layer, in_shape, self.shape))
         return self
 
     def absorb(self, other: "Graph") -> "Graph":
         """Merge a side branch's accumulated cost (shapes untouched)."""
         self.cost.merge(other.cost)
-        self.layer_log.extend(other.layer_log)
+        self.trace.extend(other.trace)
         return self
 
     def set_shape(self, shape: tuple) -> "Graph":

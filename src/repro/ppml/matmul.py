@@ -16,52 +16,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ParameterError
+# Canonical definitions live with the executable protocol
+# (repro.mpc.matmul); the analytical model here prices the same counts
+# and per-COT byte constant, so the two layers cannot silently diverge.
+# Re-exported for backwards compatibility.
+from repro.mpc.matmul import (  # noqa: F401 - re-exports
+    BYTES_PER_COT,
+    DEFAULT_BITS,
+    FIG16_DIMS,
+    MatmulDims,
+    matmul_cots,
+    matmul_online_bytes,
+    matmul_preproc_bytes,
+)
 from repro.ppml.inference import OteProvider
 from repro.ppml.network import NetworkModel
-
-#: Default operand bit-width (quantized inference).
-DEFAULT_BITS = 8
-
-#: Online bytes shipped per COT-backed multiplication term.
-BYTES_PER_COT = 17  # one masked 128-bit block + correction bit
-
-
-@dataclass(frozen=True)
-class MatmulDims:
-    """(input, hidden, output) dimensions as labelled in Figure 16."""
-
-    m: int
-    k: int
-    n: int
-
-    def __post_init__(self):
-        if min(self.m, self.k, self.n) < 1:
-            raise ParameterError("matmul dimensions must be positive")
-
-    @property
-    def label(self) -> str:
-        return f"({self.m},{self.k},{self.n})"
-
-
-#: Figure 16 layer shapes (BERT-Base and LLaMA projections, seq 32).
-FIG16_DIMS = (
-    MatmulDims(64, 768, 768),
-    MatmulDims(64, 768, 64),
-    MatmulDims(64, 4096, 64),
-)
-
-
-def matmul_cots(dims: MatmulDims, bits: int = DEFAULT_BITS) -> float:
-    """COT correlations one secure MatMul consumes.
-
-    The product of secret shares decomposes into two cross terms; the
-    one sourced from the activation side scales with ``m*k`` elements,
-    the weight side with ``k*n``, ``bits`` correlations per element.
-    The demand is role-independent -- what role switching changes is
-    which party *transmits* for each term.
-    """
-    return (dims.m * dims.k + dims.k * dims.n) * bits
 
 
 def matmul_comm_bytes(dims: MatmulDims, bits: int = DEFAULT_BITS, unified: bool = True) -> float:

@@ -1,0 +1,214 @@
+"""Preprocessing planner: exact correlation demand for a model graph.
+
+Ironman's premise is that COT correlations are *preprocessing*: the
+accelerator mass-produces them ahead of time and the online phase
+merely consumes them (Section 5.2, Figure 16).  This module is the
+bridge from a model to that contract: walk a :class:`repro.ppml.layers.Graph`
+trace, charge every layer its exact correlation demand -- matrix-triple
+shapes for linear/conv layers, comparison COTs + bit triples + mux COTs
+for ReLU/MaxPool -- and drive a :class:`repro.runtime.CorrelationService`
+to prefill its pools before the online phase starts.
+
+Demand counts mirror the *executable* consumers one-for-one:
+``relu_demand`` counts exactly what :func:`repro.mpc.relu.relu_via_service`
+draws, ``matmul_demand`` what :func:`repro.mpc.matmul.matmul_via_service`
+draws, so a prefilled service serves the whole online phase without a
+single production stall (asserted by the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.mpc.compare import cots_needed, triples_needed
+from repro.mpc.matmul import MatmulDims, matmul_cots
+from repro.ppml.layers import Conv2d, Graph, Linear
+from repro.runtime.pool import MatrixTriplePool
+
+
+@dataclass
+class CorrelationDemand:
+    """Exact correlation counts one workload draws from the service.
+
+    Directions are named from the shared pool perspective: ``cot_fwd``
+    is the direction where party 0 is the COT sender.  ``matrix`` maps
+    :class:`MatmulDims` to triple counts; ``unplanned`` records
+    nonlinear/linear work with no executable OT protocol here yet
+    (GELU, softmax, layernorm, raw attention MACs) so a plan is honest
+    about its coverage.
+    """
+
+    cot_fwd: int = 0
+    cot_rev: int = 0
+    bit_triples: int = 0
+    ring_triples: int = 0
+    matrix: dict = field(default_factory=dict)
+    unplanned: dict = field(default_factory=dict)
+
+    def merge(self, other: "CorrelationDemand") -> "CorrelationDemand":
+        self.cot_fwd += other.cot_fwd
+        self.cot_rev += other.cot_rev
+        self.bit_triples += other.bit_triples
+        self.ring_triples += other.ring_triples
+        for dims, count in other.matrix.items():
+            self.matrix[dims] = self.matrix.get(dims, 0) + count
+        for kind, count in other.unplanned.items():
+            self.unplanned[kind] = self.unplanned.get(kind, 0) + count
+        return self
+
+    @property
+    def matrix_triples(self) -> int:
+        return sum(self.matrix.values())
+
+    def total_cots(self, ring_bits: int) -> int:
+        """All raw COTs behind this demand (consumer draws + derived).
+
+        Bit triples cost one COT per direction, ring triples
+        ``ring_bits`` per direction, matrix triples ``matmul_cots``
+        from a single direction.
+        """
+        derived = self.bit_triples * 2 + self.ring_triples * ring_bits * 2
+        derived += sum(
+            int(matmul_cots(dims, ring_bits)) * count
+            for dims, count in self.matrix.items()
+        )
+        return self.cot_fwd + self.cot_rev + derived
+
+    def as_pool_targets(self) -> dict:
+        """Pool kind -> item count, the :meth:`CorrelationService.prefill`
+        input (zero entries omitted)."""
+        targets = {
+            "cot/fwd": self.cot_fwd,
+            "cot/rev": self.cot_rev,
+            "tri": self.bit_triples,
+            "rtri": self.ring_triples,
+        }
+        for dims, count in self.matrix.items():
+            targets[MatrixTriplePool.key_for(dims.m, dims.k, dims.n)] = count
+        return {kind: count for kind, count in targets.items() if count > 0}
+
+
+def relu_demand(n_elements: int, bits: int) -> CorrelationDemand:
+    """Exactly what ``relu_via_service`` draws for n shared elements:
+    comparison COTs (P0 sender), one mux COT per element per direction,
+    and the comparison's bit triples."""
+    cmp_bits = bits - 1
+    return CorrelationDemand(
+        cot_fwd=cots_needed(n_elements, cmp_bits) + n_elements,
+        cot_rev=n_elements,
+        bit_triples=triples_needed(n_elements, cmp_bits),
+    )
+
+
+def max_demand(n_comparisons: int, bits: int) -> CorrelationDemand:
+    """Secure max costs one ReLU per pairwise comparison (maxpool_cmp)."""
+    return relu_demand(n_comparisons, bits)
+
+
+def matmul_demand(dims: MatmulDims, count: int = 1) -> CorrelationDemand:
+    """One preprocessed matrix triple per secure MatMul of this shape."""
+    return CorrelationDemand(matrix={dims: count})
+
+
+def mul_demand(n_elements: int) -> CorrelationDemand:
+    """Elementwise Beaver multiplication: one ring triple per element."""
+    return CorrelationDemand(ring_triples=n_elements)
+
+
+def layer_demand(layer, in_shape: tuple, out_shape: tuple, bits: int) -> CorrelationDemand:
+    """Correlation demand of one applied layer.
+
+    Linear/Conv2d become matrix-triple shapes (conv via im2col, one
+    triple per group); ReLU-family activations and MaxPool comparisons
+    charge the exact service draws; every other cost lands in
+    ``unplanned`` so coverage gaps are visible, not silent.
+    """
+    demand = CorrelationDemand()
+    if isinstance(layer, Linear):
+        m = math.prod(in_shape[:-1]) if len(in_shape) > 1 else 1
+        demand.merge(matmul_demand(MatmulDims(m, in_shape[-1], layer.out_features)))
+        return demand
+    if isinstance(layer, Conv2d):
+        c = in_shape[0]
+        _, oh, ow = out_shape
+        dims = MatmulDims(
+            oh * ow,
+            (c // layer.groups) * layer.kernel * layer.kernel,
+            layer.out_channels // layer.groups,
+        )
+        demand.merge(matmul_demand(dims, count=layer.groups))
+        return demand
+    _, cost = layer.apply(in_shape)
+    for kind, count in cost.nonlinear.items():
+        if kind == "relu":
+            demand.merge(relu_demand(count, bits))
+        elif kind == "maxpool_cmp":
+            demand.merge(max_demand(count, bits))
+        else:
+            # relu6 (two comparisons, no service protocol yet), gelu,
+            # softmax, layernorm, avgpool truncation: honest gaps.
+            demand.unplanned[kind] = demand.unplanned.get(kind, 0) + count
+    if cost.macs:
+        demand.unplanned["macs"] = demand.unplanned.get("macs", 0) + cost.macs
+    return demand
+
+
+@dataclass
+class PreprocessingPlan:
+    """A model's full preprocessing schedule: per-layer + total demand."""
+
+    model: str
+    bits: int
+    demand: CorrelationDemand
+    per_layer: list  # (layer name, CorrelationDemand)
+
+    def pool_targets(self) -> dict:
+        return self.demand.as_pool_targets()
+
+    def prefill(self, service, timeout: float = None) -> None:
+        """Drive one party's service through the preprocessing phase.
+
+        Ensures every shape-keyed matrix pool exists, then blocks until
+        all planned correlations are produced ahead.  Both parties call
+        this (leader raises watermarks, follower waits for the mirrored
+        production); afterwards the online phase runs stall-free.
+        """
+        if service.tuning.ring_bits != self.bits:
+            raise ParameterError(
+                f"plan is for {self.bits}-bit rings but the service produces "
+                f"{service.tuning.ring_bits}-bit triples"
+            )
+        for dims in self.demand.matrix:
+            service.matrix_pool(dims.m, dims.k, dims.n)
+        service.prefill(self.pool_targets(), timeout)
+
+    def summary_rows(self) -> list:
+        """Printable per-layer rows: layer, COTs per direction, bit
+        triples, and matrix-triple shapes (for ``print_table``)."""
+        rows = []
+        for name, d in self.per_layer:
+            mats = ", ".join(
+                f"{dims.label}x{count}" for dims, count in d.matrix.items()
+            ) or "-"
+            rows.append(
+                [name, str(d.cot_fwd), str(d.cot_rev), str(d.bit_triples), mats]
+            )
+        return rows
+
+
+def plan_graph(graph: Graph, bits: int = 32) -> PreprocessingPlan:
+    """Walk a traced model graph into a :class:`PreprocessingPlan`.
+
+    ``bits`` is the arithmetic ring width of the activations (and so of
+    every ring/matrix triple); it must match the serving service's
+    ``ServiceTuning.ring_bits``.
+    """
+    total = CorrelationDemand()
+    per_layer = []
+    for layer, in_shape, out_shape in graph.trace:
+        demand = layer_demand(layer, in_shape, out_shape, bits)
+        per_layer.append((layer.name, demand))
+        total.merge(demand)
+    return PreprocessingPlan(graph.name, bits, total, per_layer)

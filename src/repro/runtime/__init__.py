@@ -8,8 +8,9 @@ amortization argument assumes):
   watermark refill, backpressure, and per-pool statistics;
 * :mod:`repro.runtime.service` -- a per-party background worker that
   keeps the pools filled by running Ferret extends (both directions)
-  and derived production (bit triples, random OTs), with deterministic
-  leader-side allocation so the two parties' draws stay correlated;
+  and derived production (bit/ring/matrix triples, random OTs), with
+  deterministic leader-side allocation so the two parties' draws stay
+  correlated, plus ``prefill`` for planner-driven preprocessing;
 * :mod:`repro.runtime.mux` -- tagged sub-channel multiplexing so the
   provisioning traffic and any number of consumer sessions share one
   duplex link (in-memory or a real socket).
@@ -18,8 +19,10 @@ amortization argument assumes):
 from repro.runtime.mux import MuxChannel, SubChannel
 from repro.runtime.pool import (
     CorrelationPool,
+    MatrixTriplePool,
     PoolStats,
     ReceiverCotPool,
+    RingTriplePool,
     RotReceiverPool,
     RotSenderPool,
     SenderCotPool,
@@ -30,9 +33,11 @@ from repro.runtime.service import CorrelationService, ServiceSession, ServiceTun
 __all__ = [
     "CorrelationPool",
     "CorrelationService",
+    "MatrixTriplePool",
     "MuxChannel",
     "PoolStats",
     "ReceiverCotPool",
+    "RingTriplePool",
     "RotReceiverPool",
     "RotSenderPool",
     "SenderCotPool",

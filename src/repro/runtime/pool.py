@@ -1,8 +1,9 @@
 """Thread-safe typed correlation pools with watermark bookkeeping.
 
 A pool buffers one kind of correlation (sender COTs, receiver COTs,
-random OTs, bit triples) produced by the background provisioning
-service and consumed by concurrent sessions.  The crucial design point
+random OTs, bit/ring triples, shape-keyed matrix triples) produced by
+the background provisioning service and consumed by concurrent
+sessions.  The crucial design point
 is that a correlation is only useful if *both* parties consume the same
 one, so pools index their contents by **absolute position** in the
 production stream:
@@ -155,6 +156,68 @@ class CorrelationPool:
             self.stats.items_refilled += n
             self._cond.notify_all()
 
+    # -- prefill / waiting --------------------------------------------------
+    def raise_watermarks(self, low: int = None, high: int = None) -> None:
+        """Raise (never lower) the refill watermarks; used by prefill.
+
+        Raising ``low`` to a planned demand makes the service keep that
+        many items produced ahead of all reservations -- the
+        preprocessing-phase contract.
+        """
+        with self._cond:
+            if low is not None:
+                self.low_watermark = max(self.low_watermark, low)
+            if high is not None:
+                self.high_watermark = max(
+                    self.high_watermark, high, self.low_watermark
+                )
+            if self.needs_refill():
+                self.refill.set()
+
+    def _wait(self, pred, timeout: float, what: str) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not pred() and not self._closed:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise ServiceError(
+                        f"pool {self.name}: timed out waiting for {what} "
+                        f"(produced {self._produced}, reserved {self._reserved})"
+                    )
+                self.refill.set()
+                self._cond.wait(0.2 if remaining is None else min(remaining, 0.2))
+            if not pred():
+                raise ServiceError(f"pool {self.name} closed while waiting for {what}")
+
+    def wait_level(self, target: int, timeout: float = None) -> None:
+        """Block until ``level`` (produced ahead of reserved) >= target."""
+        self._wait(
+            lambda: self._produced - self._reserved >= target, timeout,
+            f"level {target}",
+        )
+
+    def wait_produced(self, target: int, timeout: float = None) -> None:
+        """Block until the absolute produced count reaches ``target``."""
+        self._wait(lambda: self._produced >= target, timeout, f"produced {target}")
+
+    def wait_available(self, count: int, timeout: float = None) -> None:
+        """Block until ``count`` items beyond everything already taken
+        are produced.
+
+        The follower-side prefill wait: a follower never reserves (its
+        offsets arrive from the leader), so ``level`` cannot express
+        "produced ahead" there -- but items already *taken* are known,
+        and fresh production must clear them.  Measured from the call,
+        so repeated prefills after consumption wait for new items
+        instead of being satisfied by historical production.
+        """
+        with self._lock:
+            base = self.stats.items_drawn
+        self._wait(
+            lambda: self._produced - base >= count, timeout,
+            f"{count} fresh items",
+        )
+
     # -- consumer side ------------------------------------------------------
     def reserve(self, n: int) -> int:
         """Claim the next range; returns its absolute start offset."""
@@ -291,3 +354,67 @@ class TriplePool(CorrelationPool):
 
         a, b, c = self.take_columns(lo, n, timeout)
         return BitTriples(a, b, c)
+
+
+class RingTriplePool(CorrelationPool):
+    """Arithmetic (mod 2^bits) Beaver-triple shares (a, b, c)."""
+
+    def __init__(self, name: str, bits: int, **kwargs):
+        super().__init__(name, n_columns=3, **kwargs)
+        self.bits = bits
+
+    def take_triples(self, lo: int, n: int, timeout: float = None):
+        from repro.mpc.triples import RingTriples
+
+        a, b, c = self.take_columns(lo, n, timeout)
+        return RingTriples(a, b, c, self.bits)
+
+
+class MatrixTriplePool(CorrelationPool):
+    """Shape-keyed matrix Beaver triples for one fixed (m, k, n).
+
+    One pool item is one whole triple (A, B, C = A@B), stored as three
+    flattened row-columns, so the absolute-index reserve/take semantics
+    and watermark refill work unchanged: ``reserve(1)`` claims the next
+    triple of this shape, the service produces ``deficit`` more.  The
+    preprocessing planner keys its matrix-triple demand by the same
+    :meth:`key_for` string.
+    """
+
+    def __init__(self, name: str, m: int, k: int, n: int, bits: int, **kwargs):
+        super().__init__(name, n_columns=3, **kwargs)
+        self.m, self.k, self.n = m, k, n
+        self.bits = bits
+
+    @staticmethod
+    def key_for(m: int, k: int, n: int) -> str:
+        return f"mtri/{m}x{k}x{n}"
+
+    @property
+    def cots_per_item(self) -> int:
+        """COTs one triple of this shape consumes -- the canonical
+        :func:`repro.mpc.matmul.matmul_cots` count, so the scheduler's
+        reservations can never drift from what the generator takes."""
+        from repro.mpc.matmul import MatmulDims, matmul_cots
+
+        return matmul_cots(MatmulDims(self.m, self.k, self.n), self.bits)
+
+    def append_triple(self, triple) -> None:
+        self.append_columns(
+            (
+                triple.a.reshape(1, self.m * self.k),
+                triple.b.reshape(1, self.k * self.n),
+                triple.c.reshape(1, self.m * self.n),
+            )
+        )
+
+    def take_triple(self, lo: int, timeout: float = None):
+        from repro.mpc.triples import MatrixTriples
+
+        a, b, c = self.take_columns(lo, 1, timeout)
+        return MatrixTriples(
+            a.reshape(self.m, self.k),
+            b.reshape(self.k, self.n),
+            c.reshape(self.m, self.n),
+            self.bits,
+        )

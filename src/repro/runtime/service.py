@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import struct
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,7 +44,8 @@ import numpy as np
 from repro.errors import ChannelTimeout, ServiceError
 from repro.ferret.config import FerretConfig
 from repro.ferret.protocol import FerretReceiver, FerretSender
-from repro.mpc.triples import generate_bit_triples
+from repro.mpc.matmul import MatmulDims, generate_matrix_triples
+from repro.mpc.triples import generate_bit_triples, generate_ring_triples
 from repro.ot.cot import CotPool
 from repro.ot.ot_from_cot import (
     cot_to_random_ot_receiver,
@@ -53,7 +55,9 @@ from repro.ot.ot_from_cot import (
 )
 from repro.runtime.mux import MuxChannel
 from repro.runtime.pool import (
+    MatrixTriplePool,
     ReceiverCotPool,
+    RingTriplePool,
     RotReceiverPool,
     RotSenderPool,
     SenderCotPool,
@@ -64,9 +68,14 @@ from repro.runtime.pool import (
 #: offsets); meaning of the offsets depends on the opcode.
 _CTL = struct.Struct("<4sQQQ")
 
+#: Matrix-triple frame: opcode + (m, k, n, direction, cot offset).
+_CTL_MTRI = struct.Struct("<4sQQQQQ")
+
 OP_EXTEND_FWD = b"EXT0"
 OP_EXTEND_REV = b"EXT1"
 OP_TRIPLES = b"TRI\x00"
+OP_RING_TRIPLES = b"RTRI"
+OP_MATRIX_TRIPLE = b"MTRI"
 OP_ROT_FWD = b"ROT0"
 OP_ROT_REV = b"ROT1"
 OP_STOP = b"STOP"
@@ -78,6 +87,11 @@ class ServiceTuning:
 
     ``None`` watermarks are derived from the Ferret config at service
     construction (keep about one extend's output in flight).
+    ``ring_bits`` fixes the ring Z_2^bits of every arithmetic (ring and
+    matrix) triple the service produces -- both parties must agree, and
+    preprocessing plans must be computed at the same width.
+    ``enable_ring_triples=None`` follows ``enable_reverse`` (ring
+    triples, like bit triples, need OTs both ways).
     """
 
     cot_low: int = None
@@ -85,11 +99,16 @@ class ServiceTuning:
     triple_low: int = 128
     triple_high: int = 1024
     triple_chunk: int = 1024
+    ring_bits: int = 32
+    rtri_low: int = 0
+    rtri_high: int = 0
+    rtri_chunk: int = 256
     rot_low: int = 0
     rot_high: int = 512
     rot_chunk: int = 512
     enable_reverse: bool = True
     enable_triples: bool = True
+    enable_ring_triples: bool = None
     enable_rots: bool = True
     poll_interval_s: float = 0.02
     take_timeout_s: float = 300.0
@@ -129,6 +148,8 @@ class CorrelationService:
         self._ch_fwd = mux.sub("prov/fwd")
         self._ch_rev = mux.sub("prov/rev")
         self._ch_tri = mux.sub("prov/tri")
+        self._ch_rtri = mux.sub("prov/rtri")
+        self._ch_mtri = mux.sub("prov/mtri")
         self._rng = np.random.default_rng(seed + 0x7000 + party)
 
         # Ferret endpoints: forward = party 0 sends, reverse = party 1.
@@ -175,6 +196,18 @@ class CorrelationService:
             self.pools["tri"] = TriplePool(
                 "tri", low_watermark=t.triple_low, high_watermark=t.triple_high
             )
+        self._enable_rtri = (
+            t.enable_ring_triples
+            if t.enable_ring_triples is not None
+            else t.enable_reverse
+        )
+        if self._enable_rtri:
+            if not t.enable_reverse:
+                raise ServiceError("ring-triple production needs the reverse direction")
+            self.pools["rtri"] = RingTriplePool(
+                "rtri", t.ring_bits,
+                low_watermark=t.rtri_low, high_watermark=t.rtri_high,
+            )
         if t.enable_rots:
             fwd_rot = RotSenderPool if party == 0 else RotReceiverPool
             self.pools["rot/fwd"] = fwd_rot(
@@ -194,6 +227,9 @@ class CorrelationService:
             pool.refill = self._wake
 
         self._alloc_lock = threading.Lock()
+        #: Leader-side per-kind totals of consumer (session) draws --
+        #: what the preprocessing planner's demand is validated against.
+        self.session_draws: dict = {}
         self._stop = threading.Event()
         self._ready = threading.Event()
         self.error = None
@@ -251,14 +287,74 @@ class CorrelationService:
         if self.party != 0:
             raise ServiceError("only party 0 allocates; party 1 receives offsets")
         with self._alloc_lock:
+            if kind not in self.pools:
+                raise ServiceError(f"unknown pool kind {kind!r}")
+            self.session_draws[kind] = self.session_draws.get(kind, 0) + n
             return self.pools[kind].reserve(n)
+
+    def matrix_pool(self, m: int, k: int, n: int) -> MatrixTriplePool:
+        """The shape-keyed matrix-triple pool for (m, k, n), creating it
+        on first use.  Creation is local and idempotent, so sessions and
+        the command replay can each ensure the pool exists on their side
+        without any cross-party coordination."""
+        key = MatrixTriplePool.key_for(m, k, n)
+        with self._alloc_lock:
+            pool = self.pools.get(key)
+            if pool is None:
+                pool = MatrixTriplePool(
+                    key, m, k, n, self.tuning.ring_bits,
+                    low_watermark=0, high_watermark=0,
+                )
+                pool.refill = self._wake
+                self.pools[key] = pool
+            return pool
 
     def session(self, name: str) -> "ServiceSession":
         """A consumer session speaking over the ``sess/<name>`` sub-channel."""
         return ServiceSession(self, self.mux.sub(f"sess/{name}"), name)
 
     def pool_stats(self) -> dict:
-        return {kind: pool.stats.as_dict() for kind, pool in self.pools.items()}
+        with self._alloc_lock:
+            pools = list(self.pools.items())
+        return {kind: pool.stats.as_dict() for kind, pool in pools}
+
+    # -- preprocessing phase -------------------------------------------------
+    def prefill(self, targets: dict, timeout: float = None) -> None:
+        """Run the preprocessing phase: block until every pool in
+        ``targets`` holds that many items produced ahead.
+
+        ``targets`` maps pool kind (including ``mtri/...`` keys created
+        beforehand via :meth:`matrix_pool`) to the number of items the
+        online phase will draw.  On the leader this *raises the
+        low watermark* to the target, so the worker also keeps the pool
+        warm for the next batch after consumption -- the steady-state
+        service shape.  Both parties call this before their online
+        phase; the follower waits for the mirrored production to land.
+        """
+        timeout = self.tuning.take_timeout_s if timeout is None else timeout
+        deadline = time.monotonic() + timeout
+        with self._alloc_lock:
+            for kind in targets:
+                if kind not in self.pools:
+                    raise ServiceError(f"prefill: unknown pool kind {kind!r}")
+        if self.party == 0:
+            for kind, count in targets.items():
+                if count > 0:
+                    self.pools[kind].raise_watermarks(low=count, high=count)
+        self._wake.set()
+        for kind, count in targets.items():
+            if count <= 0:
+                continue
+            remaining = deadline - time.monotonic()
+            self._raise_if_failed()
+            if self.party == 0:
+                self.pools[kind].wait_level(count, remaining)
+            else:
+                # The follower never reserves, so "produced ahead" is
+                # measured against what it has already taken -- repeated
+                # prefills wait for fresh production, not history.
+                self.pools[kind].wait_available(count, remaining)
+        self._raise_if_failed()
 
     # -- worker -------------------------------------------------------------
     def _run(self) -> None:
@@ -294,7 +390,7 @@ class CorrelationService:
                 self._wake.wait(self.tuning.poll_interval_s)
                 self._wake.clear()
                 continue
-            self._ctl.send_bytes(_CTL.pack(*cmd))
+            self._ctl.send_bytes(self._encode(cmd))
             self._execute(cmd)
 
     def _follower_loop(self) -> None:
@@ -305,10 +401,22 @@ class CorrelationService:
                 if self._stop.is_set():
                     return
                 continue
-            cmd = _CTL.unpack(frame)
+            cmd = self._decode(frame)
             if cmd[0] == OP_STOP:
                 return
             self._execute(cmd)
+
+    @staticmethod
+    def _encode(cmd: tuple) -> bytes:
+        if cmd[0] == OP_MATRIX_TRIPLE:
+            return _CTL_MTRI.pack(*cmd)
+        return _CTL.pack(*cmd)
+
+    @staticmethod
+    def _decode(frame: bytes) -> tuple:
+        if frame[:4] == OP_MATRIX_TRIPLE:
+            return _CTL_MTRI.unpack(frame)
+        return _CTL.unpack(frame)
 
     def _decide(self):
         """Leader scheduling: pick the next production command, if any.
@@ -340,6 +448,29 @@ class CorrelationService:
                 if lo_f is None or lo_r is None:  # pragma: no cover - racing
                     return None
                 return (OP_TRIPLES, want, lo_f, lo_r)
+            if self._enable_rtri and pools["rtri"].needs_refill():
+                bits = t.ring_bits
+                want = min(
+                    pools["rtri"].deficit,
+                    t.rtri_chunk,
+                    pools["cot/fwd"].level // bits,
+                    pools["cot/rev"].level // bits,
+                )
+                if want <= 0:
+                    direction = (
+                        OP_EXTEND_FWD
+                        if pools["cot/fwd"].level <= pools["cot/rev"].level
+                        else OP_EXTEND_REV
+                    )
+                    return (direction, 0, 0, 0)
+                lo_f = pools["cot/fwd"].try_reserve_produced(want * bits)
+                lo_r = pools["cot/rev"].try_reserve_produced(want * bits)
+                if lo_f is None or lo_r is None:  # pragma: no cover - racing
+                    return None
+                return (OP_RING_TRIPLES, want, lo_f, lo_r)
+            mtri_cmd = self._decide_matrix()
+            if mtri_cmd is not None:
+                return mtri_cmd
             if t.enable_rots and pools["rot/fwd"].needs_refill():
                 want = min(
                     pools["rot/fwd"].deficit, t.rot_chunk, pools["cot/fwd"].level
@@ -362,8 +493,37 @@ class CorrelationService:
                 return (OP_ROT_REV, want, lo, 0)
         return None
 
+    def _decide_matrix(self):
+        """Matrix-triple scheduling (caller holds the allocation lock).
+
+        A triple consumes its whole COT demand from ONE direction --
+        whichever has more stock -- because the Gilboa sender role for
+        both cross terms belongs to that direction's COT sender.
+        """
+        t = self.tuning
+        pools = self.pools
+        for pool in list(pools.values()):
+            if not isinstance(pool, MatrixTriplePool) or not pool.needs_refill():
+                continue
+            needed = pool.cots_per_item
+            if t.enable_reverse and pools["cot/rev"].level > pools["cot/fwd"].level:
+                direction, src = 1, pools["cot/rev"]
+            else:
+                direction, src = 0, pools["cot/fwd"]
+            if src.level < needed:
+                return (OP_EXTEND_REV if direction else OP_EXTEND_FWD, 0, 0, 0)
+            lo = src.try_reserve_produced(needed)
+            if lo is None:  # pragma: no cover - racing
+                return None
+            return (OP_MATRIX_TRIPLE, pool.m, pool.k, pool.n, direction, lo)
+        return None
+
     def _execute(self, cmd) -> None:
-        op, n, lo_a, lo_b = cmd
+        op = cmd[0]
+        if op == OP_MATRIX_TRIPLE:
+            self._produce_matrix_triple(*cmd[1:])
+            return
+        _, n, lo_a, lo_b = cmd
         if op == OP_EXTEND_FWD:
             batch = self.ferret_fwd.extend(self._ch_fwd)
             self.pools["cot/fwd"].append_batch(batch)
@@ -374,6 +534,8 @@ class CorrelationService:
             self.extends["rev"] += 1
         elif op == OP_TRIPLES:
             self._produce_triples(n, lo_a, lo_b)
+        elif op == OP_RING_TRIPLES:
+            self._produce_ring_triples(n, lo_a, lo_b)
         elif op == OP_ROT_FWD:
             self._produce_rots("fwd", n, lo_a)
         elif op == OP_ROT_REV:
@@ -394,6 +556,46 @@ class CorrelationService:
             party=self.party, tweak_base=lo_fwd,
         )
         self.pools["tri"].append_columns((triples.a, triples.b, triples.c))
+
+    def _produce_ring_triples(self, n: int, lo_fwd: int, lo_rev: int) -> None:
+        """Lockstep Gilboa ring-triple batch over both COT directions."""
+        bits = self.tuning.ring_bits
+        fwd = self.pools["cot/fwd"].take_batch(lo_fwd, n * bits)
+        rev = self.pools["cot/rev"].take_batch(lo_rev, n * bits)
+        if self.party == 0:
+            send_pool, recv_pool = CotPool(sender=fwd), CotPool(receiver=rev)
+            send_tweak, recv_tweak = lo_fwd, lo_rev
+        else:
+            send_pool, recv_pool = CotPool(sender=rev), CotPool(receiver=fwd)
+            send_tweak, recv_tweak = lo_rev, lo_fwd
+        triples = generate_ring_triples(
+            self._ch_rtri, n, bits, send_pool, recv_pool, self._rng,
+            party=self.party, send_tweak_base=send_tweak, recv_tweak_base=recv_tweak,
+        )
+        self.pools["rtri"].append_columns((triples.a, triples.b, triples.c))
+
+    def _produce_matrix_triple(
+        self, m: int, k: int, n: int, direction: int, lo: int
+    ) -> None:
+        """Generate one (m,k,n) matrix triple from one direction's COTs.
+
+        ``direction`` 0 draws from cot/fwd (party 0 is the Ferret -- and
+        therefore Gilboa -- sender), 1 from cot/rev (party 1 sends):
+        both Fig 16 role directions are live code paths picked by stock.
+        """
+        pool = self.matrix_pool(m, k, n)
+        batch = self.pools["cot/rev" if direction else "cot/fwd"].take_batch(
+            lo, pool.cots_per_item
+        )
+        if (self.party == 0) == (direction == 0):
+            cot_pool = CotPool(sender=batch)
+        else:
+            cot_pool = CotPool(receiver=batch)
+        triple = generate_matrix_triples(
+            self._ch_mtri, MatmulDims(m, k, n), pool.bits, cot_pool, self._rng,
+            party=self.party, ot_sender=direction, tweak_base=lo,
+        )
+        pool.append_triple(triple)
 
     def _produce_rots(self, direction: str, n: int, lo: int) -> None:
         """Figure 2 conversion of pooled COTs into random OTs (local)."""
@@ -466,6 +668,25 @@ class ServiceSession:
         return self.service.pools["tri"].take_triples(
             lo, n, timeout=self.service.tuning.take_timeout_s
         )
+
+    def draw_ring_triples(self, n: int):
+        """This party's shares of n pooled mod-2^k Beaver triples."""
+        lo = self._alloc("rtri", n)
+        return self.service.pools["rtri"].take_triples(
+            lo, n, timeout=self.service.tuning.take_timeout_s
+        )
+
+    def draw_matrix_triple(self, m: int, k: int, n: int):
+        """One pooled matrix Beaver triple of shape (m, k) @ (k, n).
+
+        Both parties' calls ensure the shape-keyed pool exists locally;
+        the leader reserves the next triple and announces its offset.
+        A warm (prefilled) pool serves instantly; a cold pool stalls
+        here while the service produces on demand.
+        """
+        pool = self.service.matrix_pool(m, k, n)
+        lo = self._alloc(pool.name, 1)
+        return pool.take_triple(lo, timeout=self.service.tuning.take_timeout_s)
 
     def draw_random_ots_send(self, n: int) -> tuple:
         """(m0, m1) random-OT message pairs (this party is the sender)."""

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.crypto import blocks
-from repro.crypto.group import DEFAULT_GROUP, MODP_2048_P, OAKLEY_768_P, SchnorrGroup
+from repro.crypto.group import (
+    DEFAULT_GROUP,
+    MODP_2048_P,
+    OAKLEY_768_P,
+    FixedBaseExp,
+    SchnorrGroup,
+)
 from repro.ot.base_ot import (
     base_cot_receive,
     base_cot_send,
@@ -46,6 +52,43 @@ class TestGroup:
     def test_modp2048_also_constructs(self):
         g = SchnorrGroup(p=MODP_2048_P)
         assert g.q == (MODP_2048_P - 1) // 2
+
+
+class TestFixedBaseExp:
+    """The windowed fixed-base table must be a drop-in for pow()."""
+
+    def test_gexp_matches_pow_random_scalars(self):
+        rng = np.random.default_rng(0xF1)
+        for _ in range(16):
+            x = int(rng.integers(1, 1 << 62)) * int(rng.integers(1, 1 << 62))
+            x %= DEFAULT_GROUP.q
+            assert DEFAULT_GROUP.gexp(x) == pow(DEFAULT_GROUP.g, x, DEFAULT_GROUP.p)
+
+    def test_gexp_matches_pow_full_width_scalars(self):
+        for _ in range(4):
+            x = DEFAULT_GROUP.random_scalar()
+            assert DEFAULT_GROUP.gexp(x) == pow(DEFAULT_GROUP.g, x, DEFAULT_GROUP.p)
+
+    def test_gexp_edge_scalars(self):
+        g, p, q = DEFAULT_GROUP.g, DEFAULT_GROUP.p, DEFAULT_GROUP.q
+        for x in (0, 1, 2, q - 1, q):
+            assert DEFAULT_GROUP.gexp(x) == pow(g, x, p)
+
+    def test_out_of_range_scalars_fall_back_to_pow(self):
+        g, p, q = DEFAULT_GROUP.g, DEFAULT_GROUP.p, DEFAULT_GROUP.q
+        beyond = (1 << q.bit_length() + 64) + 12345  # past the table
+        assert DEFAULT_GROUP.gexp(beyond) == pow(g, beyond, p)
+        assert DEFAULT_GROUP.gexp(-3) == pow(g, -3, p)
+
+    def test_table_on_2048_bit_group(self):
+        grp = SchnorrGroup(MODP_2048_P)
+        x = grp.random_scalar()
+        assert grp.gexp(x) == pow(grp.g, x, grp.p)
+
+    def test_standalone_table_small_window(self):
+        table = FixedBaseExp(7, 1009, exp_bits=20, window=3)
+        for x in (0, 1, 5, 255, (1 << 20) - 1):
+            assert table.exp(x) == pow(7, x, 1009)
 
 
 class TestBaseOt:

@@ -1,0 +1,145 @@
+"""Preprocessing planner: exact per-layer correlation demand."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.mpc.compare import cots_needed, triples_needed
+from repro.mpc.matmul import MatmulDims
+from repro.ppml.layers import Activation, Conv2d, Graph, Linear, MaxPool2d
+from repro.ppml.models import resnet18
+from repro.ppml.plan import (
+    CorrelationDemand,
+    matmul_demand,
+    mul_demand,
+    plan_graph,
+    relu_demand,
+)
+
+BITS = 16
+
+
+def tiny_mlp():
+    g = Graph("TinyMLP", (4, 16))
+    g.add(Linear(8))
+    g.add(Activation("relu"))
+    g.add(Linear(4))
+    return g
+
+
+class TestGraphTrace:
+    def test_trace_records_layers_and_shapes(self):
+        g = tiny_mlp()
+        assert len(g.trace) == 3
+        layer, in_shape, out_shape = g.trace[0]
+        assert isinstance(layer, Linear)
+        assert in_shape == (4, 16) and out_shape == (4, 8)
+
+    def test_absorb_merges_traces(self):
+        g = Graph("main", (3, 8, 8))
+        side = Graph("side", (3, 8, 8))
+        side.add(Conv2d(4, 1))
+        g.absorb(side)
+        assert len(g.trace) == 1
+
+
+class TestLayerDemand:
+    def test_relu_demand_mirrors_service_draws(self):
+        n = 32
+        d = relu_demand(n, BITS)
+        assert d.cot_fwd == cots_needed(n, BITS - 1) + n
+        assert d.cot_rev == n
+        assert d.bit_triples == triples_needed(n, BITS - 1)
+
+    def test_linear_becomes_matrix_triple(self):
+        plan = plan_graph(tiny_mlp(), bits=BITS)
+        assert plan.demand.matrix == {
+            MatmulDims(4, 16, 8): 1,
+            MatmulDims(4, 8, 4): 1,
+        }
+
+    def test_conv_becomes_im2col_matmul_per_group(self):
+        g = Graph("conv", (8, 10, 10))
+        g.add(Conv2d(16, 3, stride=1, padding=1, groups=2))
+        plan = plan_graph(g, bits=BITS)
+        # oh = ow = 10; k = (8/2)*9 = 36; n = 16/2 = 8; one triple per group.
+        assert plan.demand.matrix == {MatmulDims(100, 36, 8): 2}
+
+    def test_maxpool_charges_one_relu_per_comparison(self):
+        g = Graph("mp", (2, 8, 8))
+        g.add(MaxPool2d(2, 2))
+        plan = plan_graph(g, bits=BITS)
+        cmps = 2 * 4 * 4 * 3  # c*oh*ow*(k^2-1)
+        assert plan.demand.cot_fwd == relu_demand(cmps, BITS).cot_fwd
+        assert plan.demand.bit_triples == triples_needed(cmps, BITS - 1)
+
+    def test_unplanned_kinds_are_visible(self):
+        g = Graph("gelu", (4, 8))
+        g.add(Activation("gelu"))
+        plan = plan_graph(g, bits=BITS)
+        assert plan.demand.matrix == {}
+        assert plan.demand.unplanned == {"gelu": 32}
+
+    def test_relu6_is_not_silently_planned_as_relu(self):
+        """No relu6 service protocol exists (it needs ~2 comparisons per
+        element); it must surface as a coverage gap, not fake demand."""
+        g = Graph("relu6", (4, 8))
+        g.add(Activation("relu6"))
+        plan = plan_graph(g, bits=BITS)
+        assert plan.demand.cot_fwd == 0 and plan.demand.bit_triples == 0
+        assert plan.demand.unplanned == {"relu6": 32}
+
+
+class TestPlanAggregation:
+    def test_total_is_sum_of_layers(self):
+        plan = plan_graph(tiny_mlp(), bits=BITS)
+        total = CorrelationDemand()
+        for _, d in plan.per_layer:
+            total.merge(d)
+        assert total.cot_fwd == plan.demand.cot_fwd
+        assert total.bit_triples == plan.demand.bit_triples
+        assert total.matrix == plan.demand.matrix
+
+    def test_pool_targets_mapping(self):
+        plan = plan_graph(tiny_mlp(), bits=BITS)
+        targets = plan.pool_targets()
+        n_relu = 4 * 8
+        assert targets["cot/fwd"] == cots_needed(n_relu, BITS - 1) + n_relu
+        assert targets["cot/rev"] == n_relu
+        assert targets["tri"] == triples_needed(n_relu, BITS - 1)
+        assert targets["mtri/4x16x8"] == 1
+        assert targets["mtri/4x8x4"] == 1
+        assert "rtri" not in targets  # nothing demanded none planned
+
+    def test_mul_and_matmul_demand_helpers(self):
+        d = matmul_demand(MatmulDims(2, 3, 4), count=5)
+        d.merge(mul_demand(7))
+        assert d.matrix_triples == 5 and d.ring_triples == 7
+        assert d.as_pool_targets()["rtri"] == 7
+
+    def test_total_cots_accounts_derived_production(self):
+        d = CorrelationDemand(cot_fwd=10, cot_rev=20, bit_triples=5,
+                              ring_triples=3, matrix={MatmulDims(2, 3, 4): 2})
+        expect = 10 + 20 + 5 * 2 + 3 * 16 * 2 + 2 * (2 * 3 + 3 * 4) * 16
+        assert d.total_cots(ring_bits=16) == expect
+
+
+class TestRealModels:
+    def test_resnet18_plans_without_error(self):
+        plan = plan_graph(resnet18(), bits=32)
+        assert plan.demand.matrix_triples > 20  # one per conv/linear
+        assert plan.demand.cot_fwd > 0 and plan.demand.bit_triples > 0
+        assert plan.demand.total_cots(32) > plan.demand.cot_fwd
+        # im2col shape of the stem conv: 112*112 outputs, 3*49 inputs, 64 out.
+        assert MatmulDims(112 * 112, 147, 64) in plan.demand.matrix
+        assert len(plan.summary_rows()) == len(plan.per_layer)
+
+    def test_prefill_rejects_ring_width_mismatch(self):
+        class FakeTuning:
+            ring_bits = 8
+
+        class FakeService:
+            tuning = FakeTuning()
+
+        plan = plan_graph(tiny_mlp(), bits=BITS)
+        with pytest.raises(ParameterError):
+            plan.prefill(FakeService())

@@ -8,11 +8,13 @@ import pytest
 
 from repro.crypto import blocks
 from repro.errors import ServiceError
-from repro.mpc.triples import BitTriples
+from repro.mpc.triples import BitTriples, MatrixTriples, RingTriples, dealer_matrix_triples
 from repro.ot.cot import CotReceiverBatch, CotSenderBatch, verify_cot
 from repro.runtime.pool import (
     CorrelationPool,
+    MatrixTriplePool,
     ReceiverCotPool,
+    RingTriplePool,
     SenderCotPool,
     TriplePool,
 )
@@ -141,6 +143,85 @@ class TestBlockingAndBackpressure:
         assert len(errors) == 1
 
 
+class TestWatermarkEdges:
+    """Satellite coverage: exact-boundary refill, ranges spanning a
+    refill, and backpressure timing out loudly instead of deadlocking."""
+
+    def test_refill_fires_exactly_at_low_watermark(self):
+        """needs_refill is strict: level == low is healthy, one below
+        trips the event on that very reserve."""
+        delta, z, _, _ = make_cot_arrays(64)
+        pool = SenderCotPool("p", delta, low_watermark=16, high_watermark=64)
+        pool.append_batch(CotSenderBatch(delta, z))
+        pool.reserve(48)  # level == 16 == low: no refill yet
+        assert pool.level == pool.low_watermark
+        assert not pool.needs_refill()
+        assert not pool.refill.is_set()
+        pool.reserve(1)  # level 15 < 16: the boundary crossing
+        assert pool.needs_refill()
+        assert pool.refill.is_set()
+
+    def test_reserve_spanning_a_refill_boundary(self):
+        """One reserved range served by two production batches must come
+        back spliced in order across the append boundary."""
+        pool = CorrelationPool("raw", n_columns=1)
+        data = np.arange(48, dtype=np.uint64)
+        pool.append_columns((data[:10],))
+        lo = pool.reserve(32)  # spans well past the 10 produced
+        got = {}
+
+        def taker():
+            got["cols"] = pool.take_columns(lo, 32, timeout=10.0)
+
+        t = threading.Thread(target=taker)
+        t.start()
+        time.sleep(0.05)
+        assert "cols" not in got
+        pool.append_columns((data[10:30],))  # still one short of lo+32
+        time.sleep(0.05)
+        assert "cols" not in got
+        pool.append_columns((data[30:48],))
+        t.join(5.0)
+        assert np.array_equal(got["cols"][0], data[:32])
+        assert pool.stats.stalled_draws == 1
+
+    def test_backpressure_timeout_raises_not_deadlocks(self):
+        """A take the producer never satisfies raises ServiceError with
+        the starved range, even when production made partial progress."""
+        pool = TriplePool("tri")
+        gen = np.random.default_rng(5)
+        a = gen.integers(0, 2, 8).astype(np.uint8)
+        lo = pool.reserve(16)
+        pool.append_columns((a, a, a))  # half of the demand, never more
+        start = time.monotonic()
+        with pytest.raises(ServiceError, match=r"timed out waiting for \[0, 16\)"):
+            pool.take_triples(lo, 16, timeout=0.3)
+        assert time.monotonic() - start < 5.0
+
+    def test_wait_level_and_raise_watermarks(self):
+        """prefill's pool contract: raise-only watermarks, blocking wait."""
+        pool = TriplePool("tri", low_watermark=4, high_watermark=8)
+        pool.raise_watermarks(low=32)
+        pool.raise_watermarks(low=16, high=2)  # never lowers
+        assert pool.low_watermark == 32
+        assert pool.high_watermark >= 32
+        gen = np.random.default_rng(6)
+        a = gen.integers(0, 2, 32).astype(np.uint8)
+
+        def producer():
+            time.sleep(0.05)
+            pool.append_columns((a, a, a))
+
+        t = threading.Thread(target=producer)
+        t.start()
+        pool.wait_level(32, timeout=10.0)
+        t.join(5.0)
+        assert pool.level >= 32
+        pool.wait_produced(32, timeout=1.0)
+        with pytest.raises(ServiceError, match="timed out"):
+            pool.wait_level(1000, timeout=0.1)
+
+
 class TestTypedPools:
     def test_cot_pools_stay_correlated(self):
         delta, z, x, y = make_cot_arrays(48)
@@ -185,6 +266,32 @@ class TestTypedPools:
         assert np.array_equal(d_vals, data[192:224])
         with pytest.raises(ServiceError, match="trimmed"):
             pool.take_columns(lo_a, 8)
+
+    def test_ring_triple_pool_roundtrip(self):
+        gen = np.random.default_rng(21)
+        a = gen.integers(0, 1 << 16, 40, dtype=np.uint64)
+        b = gen.integers(0, 1 << 16, 40, dtype=np.uint64)
+        pool = RingTriplePool("rtri", bits=16)
+        pool.append_columns((a, b, (a * b) & np.uint64(0xFFFF)))
+        lo = pool.reserve(40)
+        t = pool.take_triples(lo, 40)
+        assert isinstance(t, RingTriples)
+        assert t.bits == 16
+        assert np.array_equal(t.c, (t.a * t.b) & np.uint64(0xFFFF))
+
+    def test_matrix_triple_pool_roundtrip(self):
+        gen = np.random.default_rng(22)
+        t0, _ = dealer_matrix_triples(3, 5, 4, 32, gen)
+        pool = MatrixTriplePool("mtri/3x5x4", 3, 5, 4, bits=32,
+                                low_watermark=0, high_watermark=0)
+        assert pool.name == MatrixTriplePool.key_for(3, 5, 4)
+        assert pool.cots_per_item == (3 * 5 + 5 * 4) * 32
+        pool.append_triple(t0)
+        lo = pool.reserve(1)
+        got = pool.take_triple(lo)
+        assert isinstance(got, MatrixTriples)
+        assert np.array_equal(got.a, t0.a)
+        assert np.array_equal(got.c, t0.c)
 
     def test_stats_accumulate(self):
         delta, z, _, _ = make_cot_arrays(100)
