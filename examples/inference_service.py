@@ -8,19 +8,23 @@ them -- and Section 5.2's point is that for PPML those correlations are
 This example runs the whole shape end to end:
 
 * two parties share ONE duplex link, multiplexed into tagged
-  sub-channels (`prov/*` for the background Ferret extends and triple
+  sub-channels (`prov/*` for the background Ferret extends and derived
   production, `sess/*` for consumers);
 * a :class:`repro.runtime.CorrelationService` per party keeps typed
-  pools (COTs both directions, bit/ring/matrix triples, random OTs)
-  above their low watermarks in a worker thread;
-* a **preprocessing planner** walks a tiny MLP graph, computes its
-  exact correlation demand (matrix-triple shapes for the linear
-  layers, comparison COTs + bit triples for ReLU) and prefills the
+  pools (COTs both directions, bit/ring/matrix triples, truncation
+  pairs, random OTs) above their low watermarks in a worker thread;
+* a **preprocessing planner** walks a quantized 3-layer MLP graph --
+  matmul -> trunc -> ReLU -> matmul -> trunc -> matmul -- computes its
+  exact correlation demand (matrix triples, comparison COTs, bit
+  triples, the B2A ring triples of secure truncation) and prefills the
   pools (``plan -> prefill``);
-* the **online phase** then runs five concurrent consumer sessions --
-  the planned MLP inference (secure MatMul, ReLU, secure MatMul), two
-  ReLU batches, a MaxPool window, and a GMW AND layer -- with the
-  planned session drawing every correlation instantly from warm pools.
+* the **online phase** then runs the planned quantized inference with
+  per-layer fixed-point rescaling; the result is **bit-exact** against
+  a plaintext numpy fixed-point oracle, every draw matches the plan,
+  and no pool ever stalls;
+* finally four legacy mixed sessions (two ReLU batches, a MaxPool
+  window, a GMW AND layer) plus a pooled pair-mode truncation demo run
+  concurrently over the same link.
 
 Run:  python examples/inference_service.py
 """
@@ -43,9 +47,10 @@ from repro.mpc.sharing import (
     to_signed,
 )
 from repro.mpc.triples import and_shared, ring_mask_u64, triples_via_service
+from repro.mpc.truncation import FixedPointConfig, trunc_via_service
 from repro.ot.channel import LocalChannel, run_concurrently
-from repro.ppml.layers import Activation, Graph, Linear
-from repro.ppml.plan import plan_graph
+from repro.ppml.layers import Activation, Graph, Linear, Rescale
+from repro.ppml.plan import SUMMARY_HEADER, plan_graph
 from repro.runtime import CorrelationService, MuxChannel, ServiceTuning
 from repro.utils.tables import print_table
 
@@ -53,24 +58,41 @@ BITS = 14
 RING_BITS = 16
 MASK = ring_mask_u64(RING_BITS)
 
-# The planned model: x (4x12) @ W1 (12x6) -> ReLU -> @ W2 (6x3).
-M, K, H, OUT = 4, 12, 6, 3
+#: Fixed-point format of the quantized MLP: scale 2^4 in a 16-bit ring.
+FX = FixedPointConfig(bits=RING_BITS, frac_bits=4, mag_bits=9)
+
+# The planned model: x (4x12) @ W1 (12x6) -> trunc -> ReLU
+#                      @ W2 (6x5) -> trunc -> @ W3 (5x3).
+M, K, H1, H2, OUT = 4, 12, 6, 5, 3
 
 
 def build_model() -> Graph:
-    g = Graph("TinyMLP", (M, K))
-    g.add(Linear(H))
+    g = Graph("QuantMLP3", (M, K))
+    g.add(Linear(H1))
+    g.add(Rescale())
     g.add(Activation("relu"))
+    g.add(Linear(H2))
+    g.add(Rescale())
     g.add(Linear(OUT))
     return g
 
 
-def consumer_inference(session, x_sh, w1_sh, w2_sh, seed):
-    """The planned MLP online phase: matmul -> relu -> matmul."""
+def quantized_inference(session, x_sh, w1_sh, w2_sh, w3_sh, seed):
+    """The planned online phase with per-layer fixed-point rescaling."""
     rng = np.random.default_rng(seed)
-    h = matmul_via_service(session, x_sh, w1_sh)
+    h = matmul_via_service(session, x_sh, w1_sh, fx=FX, rescale=True, rng=rng)
     r, _ = relu_via_service(session, ArithmeticShares(h.reshape(-1), RING_BITS), rng)
-    return matmul_via_service(session, r.values.astype(np.uint64).reshape(M, H), w2_sh)
+    h = r.values.astype(np.uint64).reshape(M, H1)
+    h = matmul_via_service(session, h, w2_sh, fx=FX, rescale=True, rng=rng)
+    return matmul_via_service(session, h, w3_sh)
+
+
+def fixed_point_oracle(x, w1, w2, w3):
+    """Plaintext reference: integer fixed-point, floor rescale per layer."""
+    h = (x @ w1) >> FX.frac_bits
+    h = np.maximum(h, 0)
+    h = (h @ w2) >> FX.frac_bits
+    return ((h @ w3).astype(np.int64) & int(MASK)).astype(np.uint64)
 
 
 def consumer_relu(session, shares, seed):
@@ -85,6 +107,11 @@ def consumer_maxpool(session, a, b, seed):
 def consumer_and_layer(session, x_bits, y_bits, party):
     triples = triples_via_service(session, len(x_bits))
     return and_shared(session.channel, triples, x_bits, y_bits, party)
+
+
+def consumer_pair_trunc(session, x_sh):
+    """Pair-mode truncation: one opening round off the tprc pool."""
+    return trunc_via_service(session, x_sh, FX, mode="pair")
 
 
 def run_party(party, service, jobs, results):
@@ -117,14 +144,14 @@ def main():
     svc0 = CorrelationService(0, mux0, cfg, tuning).start()
     svc1 = CorrelationService(1, mux1, cfg, tuning).start()
 
-    # ---- preprocessing phase: plan the model, prefill the pools -----------
+    # ---- preprocessing phase: plan the quantized model, prefill -----------
     model = build_model()
-    plan = plan_graph(model, bits=RING_BITS)
+    plan = plan_graph(model, bits=RING_BITS, fx=FX)
     print()
     print_table(
-        ["layer", "cot_fwd", "cot_rev", "bit triples", "matrix"],
+        SUMMARY_HEADER,
         plan.summary_rows(),
-        title=f"preprocessing plan: {plan.model}",
+        title=f"preprocessing plan: {plan.model} (fixed point {FX.bits}.{FX.frac_bits})",
     )
     run_concurrently(
         lambda: plan.prefill(svc0, timeout=180.0),
@@ -133,42 +160,72 @@ def main():
     print("pools prefilled:", ", ".join(
         f"{kind}>={count}" for kind, count in sorted(plan.pool_targets().items())
     ))
+    stall_before = {k: s["stalled_draws"] for k, s in svc0.pool_stats().items()}
+    draws_before = dict(svc0.session_draws)
 
-    # ---- secret inputs ----------------------------------------------------
-    x_plain = rng.integers(0, 4, (M, K)).astype(np.uint64)
-    w1_plain = rng.integers(0, 3, (K, H)).astype(np.uint64)
-    w2_plain = rng.integers(0, 3, (H, OUT)).astype(np.uint64)
-    x_sh = share_arith_nd(x_plain, rng, bits=RING_BITS)
-    w1_sh = share_arith_nd(w1_plain, rng, bits=RING_BITS)
-    w2_sh = share_arith_nd(w2_plain, rng, bits=RING_BITS)
+    # ---- secret fixed-point inputs ----------------------------------------
+    x_plain = rng.integers(-8, 8, (M, K))
+    w1_plain = rng.integers(-4, 4, (K, H1))
+    w2_plain = rng.integers(-4, 4, (H1, H2))
+    w3_plain = rng.integers(-4, 4, (H2, OUT))
+    x_sh = share_arith_nd(from_signed(x_plain, RING_BITS), rng, bits=RING_BITS)
+    w1_sh = share_arith_nd(from_signed(w1_plain, RING_BITS), rng, bits=RING_BITS)
+    w2_sh = share_arith_nd(from_signed(w2_plain, RING_BITS), rng, bits=RING_BITS)
+    w3_sh = share_arith_nd(from_signed(w3_plain, RING_BITS), rng, bits=RING_BITS)
 
+    # ---- online phase 1: the planned quantized MLP, alone -----------------
+    z0, z1 = run_concurrently(
+        lambda: quantized_inference(
+            svc0.session("qmlp"), x_sh[0], w1_sh[0], w2_sh[0], w3_sh[0], 30
+        ),
+        lambda: quantized_inference(
+            svc1.session("qmlp"), x_sh[1], w1_sh[1], w2_sh[1], w3_sh[1], 40
+        ),
+        timeout=300.0,
+    )
+    got = (z0 + z1) & MASK
+    expect = fixed_point_oracle(x_plain, w1_plain, w2_plain, w3_plain)
+    assert np.array_equal(got, expect), "quantized inference != fixed-point oracle"
+    print(f"\nquantized 3-layer MLP online output bit-exact vs oracle {got.shape}")
+
+    # The planner's demand is exact: draws == plan, zero online stalls.
+    for kind, count in plan.pool_targets().items():
+        drawn = svc0.session_draws.get(kind, 0) - draws_before.get(kind, 0)
+        assert drawn == count, f"{kind}: drew {drawn}, planned {count}"
+    stall_after = {k: s["stalled_draws"] for k, s in svc0.pool_stats().items()}
+    for kind in plan.pool_targets():
+        assert stall_after[kind] == stall_before.get(kind, 0), kind
+    print("online draws == plan for every pool kind; zero production stalls")
+
+    # ---- online phase 2: mixed legacy sessions + pair-mode truncation -----
     acts_a = rng.integers(-2000, 2000, 24)
     acts_b = rng.integers(-2000, 2000, 24)
     win_x = rng.integers(-2000, 2000, 12)
     win_y = rng.integers(-2000, 2000, 12)
     gate_x = rng.integers(0, 2, 64).astype(np.uint8)
     gate_y = rng.integers(0, 2, 64).astype(np.uint8)
+    tr_vals = rng.integers(-(1 << FX.mag_bits) + 1, 1 << FX.mag_bits, 16)
     a0, a1 = share_arith(from_signed(acts_a, BITS).astype(np.uint64), rng, bits=BITS)
     b0, b1 = share_arith(from_signed(acts_b, BITS).astype(np.uint64), rng, bits=BITS)
     wx0, wx1 = share_arith(from_signed(win_x, BITS).astype(np.uint64), rng, bits=BITS)
     wy0, wy1 = share_arith(from_signed(win_y, BITS).astype(np.uint64), rng, bits=BITS)
     gx0, gx1 = share_bool(gate_x, rng)
     gy0, gy1 = share_bool(gate_y, rng)
+    tr_sh = share_arith_nd(from_signed(tr_vals, RING_BITS), rng, bits=RING_BITS)
 
-    # ---- online phase: five concurrent sessions ---------------------------
     jobs0 = [
-        ("mlp", lambda s: consumer_inference(s, x_sh[0], w1_sh[0], w2_sh[0], 30)),
         ("relu-a", lambda s: consumer_relu(s, a0, 10)),
         ("relu-b", lambda s: consumer_relu(s, b0, 11)),
         ("maxpool", lambda s: consumer_maxpool(s, wx0, wy0, 12)),
         ("and-layer", lambda s: consumer_and_layer(s, gx0.bits_vec, gy0.bits_vec, 0)),
+        ("pair-trunc", lambda s: consumer_pair_trunc(s, tr_sh[0])),
     ]
     jobs1 = [
-        ("mlp", lambda s: consumer_inference(s, x_sh[1], w1_sh[1], w2_sh[1], 40)),
         ("relu-a", lambda s: consumer_relu(s, a1, 20)),
         ("relu-b", lambda s: consumer_relu(s, b1, 21)),
         ("maxpool", lambda s: consumer_maxpool(s, wx1, wy1, 22)),
         ("and-layer", lambda s: consumer_and_layer(s, gx1.bits_vec, gy1.bits_vec, 1)),
+        ("pair-trunc", lambda s: consumer_pair_trunc(s, tr_sh[1])),
     ]
     results = {}
     t0 = threading.Thread(target=run_party, args=(0, svc0, jobs0, results))
@@ -178,9 +235,6 @@ def main():
     svc0.stop()
     svc1.stop()
 
-    mlp = (results[(0, "mlp")] + results[(1, "mlp")]) & MASK
-    expect = ((np.maximum(0, (x_plain @ w1_plain).astype(np.int64)).astype(np.uint64))
-              @ w2_plain) & MASK
     relu_a = to_signed(
         reconstruct_arith(results[(0, "relu-a")], results[(1, "relu-a")]), BITS
     )
@@ -191,13 +245,19 @@ def main():
         reconstruct_arith(results[(0, "maxpool")], results[(1, "maxpool")]), BITS
     )
     gates = results[(0, "and-layer")] ^ results[(1, "and-layer")]
-    assert np.array_equal(mlp, expect)
     assert np.array_equal(relu_a, np.maximum(acts_a, 0))
     assert np.array_equal(relu_b, np.maximum(acts_b, 0))
     assert np.array_equal(mx, np.maximum(win_x, win_y))
     assert np.array_equal(gates, gate_x & gate_y)
-    print("5 concurrent sessions finished; all reconstructions correct")
-    print(f"planned MLP inference output verified against plaintext {expect.shape}")
+    # Pair-mode truncation is probabilistic: floor(x/2^f) or one more,
+    # except for the 2^(mag+1-bits) mask-wrap event (worth 2^(bits-f)).
+    tr = (results[(0, "pair-trunc")] + results[(1, "pair-trunc")]) & MASK
+    diff = FX.to_signed((tr - FX.trunc_reference(from_signed(tr_vals, RING_BITS))) & MASK)
+    wrap = 1 << (RING_BITS - FX.frac_bits)
+    assert np.all(np.isin(diff, [0, 1, -wrap, 1 - wrap])), diff
+    exact_frac = float(np.mean(np.isin(diff, [0, 1])))
+    print(f"5 concurrent sessions finished; all reconstructions correct")
+    print(f"pair-mode truncation within contract ({exact_frac:.0%} wrap-free)")
 
     print(f"\nextends run: fwd={svc0.extends['fwd']}, rev={svc0.extends['rev']}")
     print("pool stats (party 0):")

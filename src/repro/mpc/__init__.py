@@ -36,12 +36,26 @@ from repro.mpc.matmul import (
 )
 from repro.mpc.maxpool import max_pair
 from repro.mpc.relu import drelu_pair, relu_pair
+from repro.mpc.truncation import (
+    FixedPointConfig,
+    TruncPairs,
+    generate_trunc_pairs,
+    trunc_via_service,
+    truncate_pair_online,
+    truncate_shares,
+)
 
 __all__ = [
     "ArithmeticShares",
     "BitTriples",
     "BooleanShares",
     "FIG16_DIMS",
+    "FixedPointConfig",
+    "TruncPairs",
+    "generate_trunc_pairs",
+    "trunc_via_service",
+    "truncate_pair_online",
+    "truncate_shares",
     "MatmulDims",
     "MatrixTriples",
     "RingTriples",

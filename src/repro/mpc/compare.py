@@ -42,6 +42,33 @@ def cots_needed(n_elements: int, bits: int) -> int:
     return bits * n_elements
 
 
+def millionaire_bytes(n_elements: int, bits: int) -> int:
+    """Exact wire bytes (both parties) of one comparison batch.
+
+    Per level: the receiver's derandomization bit vector (8-byte length
+    header + packed bits), the sender's two padded block arrays (16 B
+    each), and one 2n-bit opening from each party for each of the two
+    shared-AND state updates.  Kept beside the protocol so a wire-format
+    change here cannot silently strand the predictors (the truncation
+    byte models build on this).
+    """
+    per_level = (
+        (8 + (n_elements + 7) // 8)
+        + 2 * 16 * n_elements
+        + 4 * (8 + (2 * n_elements + 7) // 8)
+    )
+    return bits * per_level
+
+
+def millionaire_messages(bits: int) -> int:
+    """Messages (both parties) of one comparison batch: per level one
+    derandomization vector, two padded block arrays, and one opening
+    from each party for each of the two shared ANDs.  Multiplied by a
+    transport's per-message framing (e.g. the mux tag header) this
+    converts :func:`millionaire_bytes` into framed predictions."""
+    return 7 * bits
+
+
 def _bit(values: np.ndarray, position: int) -> np.ndarray:
     return ((values >> np.uint64(position)) & np.uint64(1)).astype(np.uint8)
 

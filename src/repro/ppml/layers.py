@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from repro.errors import ParameterError
 
 #: Nonlinear operation kinds the framework cost models price.
-NONLINEAR_KINDS = ("relu", "relu6", "gelu", "softmax", "layernorm", "maxpool_cmp", "avgpool", "silu")
+NONLINEAR_KINDS = ("relu", "relu6", "gelu", "softmax", "layernorm", "maxpool_cmp", "avgpool", "silu", "trunc")
 
 
 @dataclass
@@ -110,6 +110,24 @@ class Activation(Layer):
         if self.kind not in NONLINEAR_KINDS:
             raise ParameterError(f"unknown activation {self.kind!r}")
         return shape, LayerCost(nonlinear={self.kind: math.prod(shape)})
+
+
+@dataclass
+class Rescale(Layer):
+    """Fixed-point rescaling: secure truncation of every element.
+
+    Quantized inference inserts one after each linear/conv layer so the
+    scale stays at 2^f instead of doubling per product.  Shape-neutral;
+    charges one ``trunc`` nonlinear element per value, which the
+    preprocessing planner expands into exact truncation demand
+    (comparison COTs + bit triples + B2A ring triples, or pooled
+    truncation pairs) for the :class:`repro.mpc.truncation` protocols.
+    """
+
+    name: str = "rescale"
+
+    def apply(self, shape: tuple) -> tuple:
+        return shape, LayerCost(nonlinear={"trunc": math.prod(shape)})
 
 
 @dataclass

@@ -60,8 +60,16 @@ class FrameworkProfile:
             if kind not in NONLINEAR_KINDS:
                 raise ParameterError(f"unknown nonlinear kind {kind!r}")
 
+    #: Kinds the calibrated profiles price through other columns: every
+    #: framework table folds linear-layer truncation into
+    #: ``cots_per_mac``, so an explicit Rescale layer must not be
+    #: double-charged (and must not crash graphs that model it).
+    _FOLDED_KINDS = {"trunc": NonlinearCost(cots=0, online_bytes=0)}
+
     def cost_of(self, kind: str) -> NonlinearCost:
         if kind not in self.costs:
+            if kind in self._FOLDED_KINDS:
+                return self._FOLDED_KINDS[kind]
             raise ParameterError(f"{self.name} has no cost entry for {kind!r}")
         return self.costs[kind]
 

@@ -24,8 +24,16 @@ from dataclasses import dataclass, field
 from repro.errors import ParameterError
 from repro.mpc.compare import cots_needed, triples_needed
 from repro.mpc.matmul import MatmulDims, matmul_cots
+from repro.mpc.truncation import (
+    FixedPointConfig,
+    trunc_bit_triples,
+    trunc_cots,
+    trunc_pair_bit_triples,
+    trunc_pair_cots,
+    trunc_ring_triples,
+)
 from repro.ppml.layers import Conv2d, Graph, Linear
-from repro.runtime.pool import MatrixTriplePool
+from repro.runtime.pool import MatrixTriplePool, TruncPairPool
 
 
 @dataclass
@@ -45,6 +53,7 @@ class CorrelationDemand:
     bit_triples: int = 0
     ring_triples: int = 0
     matrix: dict = field(default_factory=dict)
+    trunc_pairs: dict = field(default_factory=dict)  # frac_bits -> count
     unplanned: dict = field(default_factory=dict)
 
     def merge(self, other: "CorrelationDemand") -> "CorrelationDemand":
@@ -54,6 +63,8 @@ class CorrelationDemand:
         self.ring_triples += other.ring_triples
         for dims, count in other.matrix.items():
             self.matrix[dims] = self.matrix.get(dims, 0) + count
+        for frac, count in other.trunc_pairs.items():
+            self.trunc_pairs[frac] = self.trunc_pairs.get(frac, 0) + count
         for kind, count in other.unplanned.items():
             self.unplanned[kind] = self.unplanned.get(kind, 0) + count
         return self
@@ -67,12 +78,21 @@ class CorrelationDemand:
 
         Bit triples cost one COT per direction, ring triples
         ``ring_bits`` per direction, matrix triples ``matmul_cots``
-        from a single direction.
+        from a single direction, truncation pairs their forward COTs
+        plus the bit triples their generation consumes.
         """
         derived = self.bit_triples * 2 + self.ring_triples * ring_bits * 2
         derived += sum(
             int(matmul_cots(dims, ring_bits)) * count
             for dims, count in self.matrix.items()
+        )
+        derived += sum(
+            (
+                trunc_pair_cots(ring_bits, frac)
+                + trunc_pair_bit_triples(ring_bits, frac) * 2
+            )
+            * count
+            for frac, count in self.trunc_pairs.items()
         )
         return self.cot_fwd + self.cot_rev + derived
 
@@ -87,6 +107,8 @@ class CorrelationDemand:
         }
         for dims, count in self.matrix.items():
             targets[MatrixTriplePool.key_for(dims.m, dims.k, dims.n)] = count
+        for frac, count in self.trunc_pairs.items():
+            targets[TruncPairPool.key_for(frac)] = count
         return {kind: count for kind, count in targets.items() if count > 0}
 
 
@@ -117,13 +139,43 @@ def mul_demand(n_elements: int) -> CorrelationDemand:
     return CorrelationDemand(ring_triples=n_elements)
 
 
-def layer_demand(layer, in_shape: tuple, out_shape: tuple, bits: int) -> CorrelationDemand:
+def trunc_demand(
+    n_elements: int, fx: FixedPointConfig, mode: str = "exact"
+) -> CorrelationDemand:
+    """Exactly what ``trunc_via_service`` draws for n rescaled elements.
+
+    ``pair`` mode consumes one pooled truncation pair per element (the
+    one-round probabilistic protocol); ``wrap``/``exact`` consume the
+    comparison COTs (party 0 sender), their bit triples, and the ring
+    triples the B2A of the correction bits multiplies with.
+    """
+    if mode == "pair":
+        return CorrelationDemand(trunc_pairs={fx.frac_bits: n_elements})
+    if mode not in ("wrap", "exact"):
+        raise ParameterError(f"unknown truncation mode {mode!r}")
+    exact = mode == "exact"
+    return CorrelationDemand(
+        cot_fwd=trunc_cots(n_elements, fx, exact),
+        bit_triples=trunc_bit_triples(n_elements, fx, exact),
+        ring_triples=trunc_ring_triples(n_elements, fx, exact),
+    )
+
+
+def layer_demand(
+    layer,
+    in_shape: tuple,
+    out_shape: tuple,
+    bits: int,
+    fx: FixedPointConfig = None,
+    trunc_mode: str = "exact",
+) -> CorrelationDemand:
     """Correlation demand of one applied layer.
 
     Linear/Conv2d become matrix-triple shapes (conv via im2col, one
     triple per group); ReLU-family activations and MaxPool comparisons
-    charge the exact service draws; every other cost lands in
-    ``unplanned`` so coverage gaps are visible, not silent.
+    charge the exact service draws; Rescale layers charge truncation
+    demand when a :class:`FixedPointConfig` is given; every other cost
+    lands in ``unplanned`` so coverage gaps are visible, not silent.
     """
     demand = CorrelationDemand()
     if isinstance(layer, Linear):
@@ -146,6 +198,12 @@ def layer_demand(layer, in_shape: tuple, out_shape: tuple, bits: int) -> Correla
             demand.merge(relu_demand(count, bits))
         elif kind == "maxpool_cmp":
             demand.merge(max_demand(count, bits))
+        elif kind == "trunc" and fx is not None:
+            if fx.bits != bits:
+                raise ParameterError(
+                    f"fixed-point config is {fx.bits}-bit but the plan ring is {bits}-bit"
+                )
+            demand.merge(trunc_demand(count, fx, trunc_mode))
         else:
             # relu6 (two comparisons, no service protocol yet), gelu,
             # softmax, layernorm, avgpool truncation: honest gaps.
@@ -153,6 +211,10 @@ def layer_demand(layer, in_shape: tuple, out_shape: tuple, bits: int) -> Correla
     if cost.macs:
         demand.unplanned["macs"] = demand.unplanned.get("macs", 0) + cost.macs
     return demand
+
+
+#: Column titles matching :meth:`PreprocessingPlan.summary_rows`.
+SUMMARY_HEADER = ["layer", "cot_fwd", "cot_rev", "bit triples", "matrix", "trunc pairs"]
 
 
 @dataclass
@@ -182,33 +244,46 @@ class PreprocessingPlan:
             )
         for dims in self.demand.matrix:
             service.matrix_pool(dims.m, dims.k, dims.n)
+        for frac in self.demand.trunc_pairs:
+            service.trunc_pool(frac)
         service.prefill(self.pool_targets(), timeout)
 
     def summary_rows(self) -> list:
         """Printable per-layer rows: layer, COTs per direction, bit
-        triples, and matrix-triple shapes (for ``print_table``)."""
+        triples, matrix-triple shapes, and truncation pairs (for
+        ``print_table`` with :data:`SUMMARY_HEADER`)."""
         rows = []
         for name, d in self.per_layer:
             mats = ", ".join(
                 f"{dims.label}x{count}" for dims, count in d.matrix.items()
             ) or "-"
+            pairs = ", ".join(
+                f"f{frac}x{count}" for frac, count in d.trunc_pairs.items()
+            ) or "-"
             rows.append(
-                [name, str(d.cot_fwd), str(d.cot_rev), str(d.bit_triples), mats]
+                [name, str(d.cot_fwd), str(d.cot_rev), str(d.bit_triples), mats, pairs]
             )
         return rows
 
 
-def plan_graph(graph: Graph, bits: int = 32) -> PreprocessingPlan:
+def plan_graph(
+    graph: Graph,
+    bits: int = 32,
+    fx: FixedPointConfig = None,
+    trunc_mode: str = "exact",
+) -> PreprocessingPlan:
     """Walk a traced model graph into a :class:`PreprocessingPlan`.
 
     ``bits`` is the arithmetic ring width of the activations (and so of
     every ring/matrix triple); it must match the serving service's
-    ``ServiceTuning.ring_bits``.
+    ``ServiceTuning.ring_bits``.  ``fx`` prices the graph's Rescale
+    layers as executable truncation demand (``trunc_mode`` selecting
+    pair/wrap/exact); without it they surface as unplanned.
     """
     total = CorrelationDemand()
     per_layer = []
     for layer, in_shape, out_shape in graph.trace:
-        demand = layer_demand(layer, in_shape, out_shape, bits)
+        demand = layer_demand(layer, in_shape, out_shape, bits, fx, trunc_mode)
         per_layer.append((layer.name, demand))
         total.merge(demand)
     return PreprocessingPlan(graph.name, bits, total, per_layer)

@@ -27,6 +27,7 @@ from repro.runtime.pool import (
     RotSenderPool,
     SenderCotPool,
     TriplePool,
+    TruncPairPool,
 )
 from repro.runtime.service import CorrelationService, ServiceSession, ServiceTuning
 
@@ -45,4 +46,5 @@ __all__ = [
     "ServiceTuning",
     "SubChannel",
     "TriplePool",
+    "TruncPairPool",
 ]

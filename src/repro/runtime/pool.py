@@ -370,6 +370,49 @@ class RingTriplePool(CorrelationPool):
         return RingTriples(a, b, c, self.bits)
 
 
+class TruncPairPool(CorrelationPool):
+    """Fixed-point truncation pairs (r, r >> frac) for one frac width.
+
+    One pool item is one pair of mod-2^bits shares; pools are keyed by
+    the fractional width (``tprc/{frac}``) because a pair only rescales
+    by its own shift amount, while ``bits`` is fixed service-wide like
+    every other arithmetic pool.  Same absolute-index reserve/take and
+    watermark-refill semantics as RTRI/MTRI; the service's ``TPRC``
+    opcode produces batches from forward-direction COTs plus pooled bit
+    triples (the two millionaires' comparisons inside generation).
+    """
+
+    def __init__(self, name: str, bits: int, frac_bits: int, **kwargs):
+        super().__init__(name, n_columns=2, **kwargs)
+        self.bits = bits
+        self.frac_bits = frac_bits
+
+    @staticmethod
+    def key_for(frac_bits: int) -> str:
+        return f"tprc/{frac_bits}"
+
+    @property
+    def cots_per_item(self) -> int:
+        """Forward COTs one pair consumes -- the canonical count from
+        :func:`repro.mpc.truncation.trunc_pair_cots`, shared with the
+        generator so the scheduler's reservations cannot drift."""
+        from repro.mpc.truncation import trunc_pair_cots
+
+        return trunc_pair_cots(self.bits, self.frac_bits)
+
+    @property
+    def triples_per_item(self) -> int:
+        from repro.mpc.truncation import trunc_pair_bit_triples
+
+        return trunc_pair_bit_triples(self.bits, self.frac_bits)
+
+    def take_pairs(self, lo: int, n: int, timeout: float = None):
+        from repro.mpc.truncation import TruncPairs
+
+        r, s = self.take_columns(lo, n, timeout)
+        return TruncPairs(r, s, self.bits, self.frac_bits)
+
+
 class MatrixTriplePool(CorrelationPool):
     """Shape-keyed matrix Beaver triples for one fixed (m, k, n).
 

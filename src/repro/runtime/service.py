@@ -46,6 +46,7 @@ from repro.ferret.config import FerretConfig
 from repro.ferret.protocol import FerretReceiver, FerretSender
 from repro.mpc.matmul import MatmulDims, generate_matrix_triples
 from repro.mpc.triples import generate_bit_triples, generate_ring_triples
+from repro.mpc.truncation import generate_trunc_pairs
 from repro.ot.cot import CotPool
 from repro.ot.ot_from_cot import (
     cot_to_random_ot_receiver,
@@ -62,6 +63,7 @@ from repro.runtime.pool import (
     RotSenderPool,
     SenderCotPool,
     TriplePool,
+    TruncPairPool,
 )
 
 #: Control frame: 4-byte opcode + three u64 arguments (count, range
@@ -71,11 +73,15 @@ _CTL = struct.Struct("<4sQQQ")
 #: Matrix-triple frame: opcode + (m, k, n, direction, cot offset).
 _CTL_MTRI = struct.Struct("<4sQQQQQ")
 
+#: Truncation-pair frame: opcode + (count, frac, cot offset, tri offset).
+_CTL_TPRC = struct.Struct("<4sQQQQ")
+
 OP_EXTEND_FWD = b"EXT0"
 OP_EXTEND_REV = b"EXT1"
 OP_TRIPLES = b"TRI\x00"
 OP_RING_TRIPLES = b"RTRI"
 OP_MATRIX_TRIPLE = b"MTRI"
+OP_TRUNC_PAIRS = b"TPRC"
 OP_ROT_FWD = b"ROT0"
 OP_ROT_REV = b"ROT1"
 OP_STOP = b"STOP"
@@ -103,6 +109,7 @@ class ServiceTuning:
     rtri_low: int = 0
     rtri_high: int = 0
     rtri_chunk: int = 256
+    tprc_chunk: int = 64
     rot_low: int = 0
     rot_high: int = 512
     rot_chunk: int = 512
@@ -150,6 +157,7 @@ class CorrelationService:
         self._ch_tri = mux.sub("prov/tri")
         self._ch_rtri = mux.sub("prov/rtri")
         self._ch_mtri = mux.sub("prov/mtri")
+        self._ch_tprc = mux.sub("prov/tprc")
         self._rng = np.random.default_rng(seed + 0x7000 + party)
 
         # Ferret endpoints: forward = party 0 sends, reverse = party 1.
@@ -309,6 +317,25 @@ class CorrelationService:
                 self.pools[key] = pool
             return pool
 
+    def trunc_pool(self, frac_bits: int) -> TruncPairPool:
+        """The frac-keyed truncation-pair pool, creating it on first
+        use.  Like :meth:`matrix_pool`, creation is local and
+        idempotent; pair production additionally consumes pooled bit
+        triples, so the service must run with ``enable_triples``."""
+        if not self.tuning.enable_triples:
+            raise ServiceError("truncation pairs need bit-triple production")
+        key = TruncPairPool.key_for(frac_bits)
+        with self._alloc_lock:
+            pool = self.pools.get(key)
+            if pool is None:
+                pool = TruncPairPool(
+                    key, self.tuning.ring_bits, frac_bits,
+                    low_watermark=0, high_watermark=0,
+                )
+                pool.refill = self._wake
+                self.pools[key] = pool
+            return pool
+
     def session(self, name: str) -> "ServiceSession":
         """A consumer session speaking over the ``sess/<name>`` sub-channel."""
         return ServiceSession(self, self.mux.sub(f"sess/{name}"), name)
@@ -410,12 +437,16 @@ class CorrelationService:
     def _encode(cmd: tuple) -> bytes:
         if cmd[0] == OP_MATRIX_TRIPLE:
             return _CTL_MTRI.pack(*cmd)
+        if cmd[0] == OP_TRUNC_PAIRS:
+            return _CTL_TPRC.pack(*cmd)
         return _CTL.pack(*cmd)
 
     @staticmethod
     def _decode(frame: bytes) -> tuple:
         if frame[:4] == OP_MATRIX_TRIPLE:
             return _CTL_MTRI.unpack(frame)
+        if frame[:4] == OP_TRUNC_PAIRS:
+            return _CTL_TPRC.unpack(frame)
         return _CTL.unpack(frame)
 
     def _decide(self):
@@ -471,6 +502,9 @@ class CorrelationService:
             mtri_cmd = self._decide_matrix()
             if mtri_cmd is not None:
                 return mtri_cmd
+            tprc_cmd = self._decide_trunc()
+            if tprc_cmd is not None:
+                return tprc_cmd
             if t.enable_rots and pools["rot/fwd"].needs_refill():
                 want = min(
                     pools["rot/fwd"].deficit, t.rot_chunk, pools["cot/fwd"].level
@@ -518,10 +552,59 @@ class CorrelationService:
             return (OP_MATRIX_TRIPLE, pool.m, pool.k, pool.n, direction, lo)
         return None
 
+    def _decide_trunc(self):
+        """Truncation-pair scheduling (caller holds the allocation lock).
+
+        Pair generation is derived-of-derived production: it consumes
+        forward COTs *and* pooled bit triples.  When triple stock is the
+        bottleneck the leader schedules a triple batch first, so the
+        worker never waits on its own output.
+        """
+        t = self.tuning
+        pools = self.pools
+        for pool in list(pools.values()):
+            if not isinstance(pool, TruncPairPool) or not pool.needs_refill():
+                continue
+            want = min(pool.deficit, t.tprc_chunk)
+            want = min(
+                want,
+                pools["cot/fwd"].level // pool.cots_per_item,
+                pools["tri"].level // pool.triples_per_item,
+            )
+            if want <= 0:
+                if pools["cot/fwd"].level < pool.cots_per_item:
+                    return (OP_EXTEND_FWD, 0, 0, 0)
+                # Starved on bit triples: run one triple batch.
+                need = min(pool.deficit, t.tprc_chunk) * pool.triples_per_item
+                n = min(t.triple_chunk, max(need - pools["tri"].level, 1))
+                avail = min(pools["cot/fwd"].level, pools["cot/rev"].level)
+                if avail <= 0:
+                    direction = (
+                        OP_EXTEND_FWD
+                        if pools["cot/fwd"].level <= pools["cot/rev"].level
+                        else OP_EXTEND_REV
+                    )
+                    return (direction, 0, 0, 0)
+                n = min(n, avail)
+                lo_f = pools["cot/fwd"].try_reserve_produced(n)
+                lo_r = pools["cot/rev"].try_reserve_produced(n)
+                if lo_f is None or lo_r is None:  # pragma: no cover - racing
+                    return None
+                return (OP_TRIPLES, n, lo_f, lo_r)
+            lo_c = pools["cot/fwd"].try_reserve_produced(want * pool.cots_per_item)
+            lo_t = pools["tri"].try_reserve_produced(want * pool.triples_per_item)
+            if lo_c is None or lo_t is None:  # pragma: no cover - racing
+                return None
+            return (OP_TRUNC_PAIRS, want, pool.frac_bits, lo_c, lo_t)
+        return None
+
     def _execute(self, cmd) -> None:
         op = cmd[0]
         if op == OP_MATRIX_TRIPLE:
             self._produce_matrix_triple(*cmd[1:])
+            return
+        if op == OP_TRUNC_PAIRS:
+            self._produce_trunc_pairs(*cmd[1:])
             return
         _, n, lo_a, lo_b = cmd
         if op == OP_EXTEND_FWD:
@@ -596,6 +679,25 @@ class CorrelationService:
             party=self.party, ot_sender=direction, tweak_base=lo,
         )
         pool.append_triple(triple)
+
+    def _produce_trunc_pairs(self, n: int, frac: int, lo_cot: int, lo_tri: int) -> None:
+        """Lockstep truncation-pair batch: forward COTs + pooled triples.
+
+        Party 0 is the millionaires'/Gilboa OT sender (the forward COT
+        direction), mirroring the online wrap-fixed protocol's roles.
+        """
+        pool = self.trunc_pool(frac)
+        batch = self.pools["cot/fwd"].take_batch(lo_cot, n * pool.cots_per_item)
+        if self.party == 0:
+            cot_pool = CotPool(sender=batch)
+        else:
+            cot_pool = CotPool(receiver=batch)
+        triples = self.pools["tri"].take_triples(lo_tri, n * pool.triples_per_item)
+        pairs = generate_trunc_pairs(
+            self._ch_tprc, n, pool.bits, frac, cot_pool, triples, self._rng,
+            party=self.party, tweak_base=lo_cot,
+        )
+        pool.append_columns((pairs.r, pairs.s))
 
     def _produce_rots(self, direction: str, n: int, lo: int) -> None:
         """Figure 2 conversion of pooled COTs into random OTs (local)."""
@@ -675,6 +777,16 @@ class ServiceSession:
         return self.service.pools["rtri"].take_triples(
             lo, n, timeout=self.service.tuning.take_timeout_s
         )
+
+    def draw_trunc_pairs(self, n: int, frac_bits: int):
+        """This party's shares of n pooled truncation pairs (r, r>>frac).
+
+        Both parties' calls ensure the frac-keyed pool exists locally;
+        the leader reserves the range and announces its offset.
+        """
+        pool = self.service.trunc_pool(frac_bits)
+        lo = self._alloc(pool.name, n)
+        return pool.take_pairs(lo, n, timeout=self.service.tuning.take_timeout_s)
 
     def draw_matrix_triple(self, m: int, k: int, n: int):
         """One pooled matrix Beaver triple of shape (m, k) @ (k, n).

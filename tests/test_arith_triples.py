@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.crypto import blocks
 from repro.errors import ParameterError
 from repro.mpc.triples import (
     RingTriples,
@@ -17,17 +16,9 @@ from repro.mpc.triples import (
     ring_triple_cots,
 )
 from repro.ot.channel import run_pair
-from repro.ot.cot import CotPool, CotReceiverBatch, CotSenderBatch
+from repro.ot.cot import CotPool
 
-
-def fake_cots(n, seed=1):
-    """A genuine COT correlation built directly (no base-OT protocol)."""
-    gen = np.random.default_rng(seed)
-    delta = blocks.random_blocks(1, gen)
-    z = blocks.random_blocks(n, gen)
-    x = gen.integers(0, 2, n).astype(np.uint8)
-    y = blocks.xor(z, blocks.mul_bit(delta, x))
-    return CotSenderBatch(delta, z), CotReceiverBatch(x, y)
+from repro.ot.testing import fake_cots
 
 
 class TestGilboaPrimitive:

@@ -15,24 +15,15 @@ from repro.mpc.matmul import (
     matmul_online_bytes,
     matmul_preproc_bytes,
 )
-from repro.crypto import blocks
 from repro.mpc.triples import dealer_matrix_triples, ring_mask_u64
 from repro.ot.channel import run_pair
-from repro.ot.cot import CotPool, CotReceiverBatch, CotSenderBatch
+from repro.ot.cot import CotPool
 from repro.ppml import matmul as ppml_matmul
 from repro.ppml.matmul import matmul_comm_bytes
 
+from repro.ot.testing import fake_cots
+
 SMALL_DIMS = (MatmulDims(3, 5, 4), MatmulDims(6, 2, 7))
-
-
-def fake_cots(n, seed=1):
-    """A genuine COT correlation built directly (no base-OT protocol)."""
-    gen = np.random.default_rng(seed)
-    delta = blocks.random_blocks(1, gen)
-    z = blocks.random_blocks(n, gen)
-    x = gen.integers(0, 2, n).astype(np.uint8)
-    y = blocks.xor(z, blocks.mul_bit(delta, x))
-    return CotSenderBatch(delta, z), CotReceiverBatch(x, y)
 
 
 def run_matmul_pipeline(dims, bits, ot_sender, seed=0):
