@@ -1,0 +1,27 @@
+"""Shared CLI/IO helpers for the standalone benchmark mains.
+
+Every runtime benchmark exposes ``--json-out`` so CI can collect its
+(smoke) payload for the regression gate (``check_regression.py``); the
+argument plumbing and the atomic-enough write live here once.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def add_json_out_arg(parser) -> None:
+    parser.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        help="also write the (smoke) payload to this path, e.g. for the "
+        "CI regression gate",
+    )
+
+
+def write_payload(path: Path, payload: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")

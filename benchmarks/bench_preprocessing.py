@@ -32,6 +32,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+from bench_io import add_json_out_arg, write_payload
 
 from repro.ferret.config import FerretConfig
 from repro.lpn.params import LpnParams
@@ -198,21 +199,24 @@ def check(rows) -> None:
     assert warm < 0.7 * cold, f"warm online ({warm:.2f}s) not materially below cold ({cold:.2f}s)"
 
 
-def write_json(rows, path: Path = JSON_PATH) -> None:
-    payload = {
+def payload(rows, shape) -> dict:
+    return {
         "bench": "preprocessing",
         "config": {
             "n": PARAMS.n,
             "k": PARAMS.k,
             "t": PARAMS.t,
             "ring_bits": RING_BITS,
-            "mlp_shape": list(SHAPE),
+            "mlp_shape": list(shape),
             "machine": platform.machine(),
         },
         "scenarios": rows,
         "online_speedup_warm_vs_cold": rows[0]["online_s"] / rows[1]["online_s"],
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def write_json(rows, path: Path = JSON_PATH, shape=SHAPE) -> None:
+    path.write_text(json.dumps(payload(rows, shape), indent=2) + "\n")
     print(f"wrote {path}")
 
 
@@ -232,10 +236,13 @@ def main(argv=None) -> int:
         help="tiny MLP that skips the perf assertion and does not touch "
         "the committed JSON",
     )
+    add_json_out_arg(parser)
     args = parser.parse_args(argv)
     shape = SMOKE_SHAPE if args.smoke else SHAPE
     rows = run_all(shape)
     report(rows, shape)
+    if args.json_out is not None:
+        write_payload(args.json_out, payload(rows, shape))
     if args.smoke:
         print("smoke OK")
         return 0

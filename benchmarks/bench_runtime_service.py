@@ -29,6 +29,8 @@ import threading
 import time
 from pathlib import Path
 
+from bench_io import add_json_out_arg, write_payload
+
 from repro.ferret.config import FerretConfig
 from repro.lpn.params import LpnParams
 from repro.ot.channel import LocalChannel
@@ -164,8 +166,8 @@ def report(rows: list) -> None:
     )
 
 
-def write_json(rows: list, path: Path = JSON_PATH) -> None:
-    payload = {
+def payload(rows: list) -> dict:
+    return {
         "bench": "runtime_service",
         "config": {
             "n": PARAMS.n,
@@ -181,7 +183,10 @@ def write_json(rows: list, path: Path = JSON_PATH) -> None:
         "amortization_gain": rows[0]["amortized_us_per_cot"]
         / rows[-1]["amortized_us_per_cot"],
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def write_json(rows: list, path: Path = JSON_PATH) -> None:
+    path.write_text(json.dumps(payload(rows), indent=2) + "\n")
     print(f"wrote {path}")
 
 
@@ -211,16 +216,21 @@ def main(argv=None) -> int:
         help="tiny run (1 and 4 sessions, small draws) that skips the "
         "perf assertion and does not touch the committed JSON",
     )
+    add_json_out_arg(parser)
     args = parser.parse_args(argv)
     if args.smoke:
         rows = run_all((1, 4), 600, 200)
         report(rows)
+        if args.json_out is not None:
+            write_payload(args.json_out, payload(rows))
         print("smoke OK")
         return 0
     rows = run_all(SESSION_COUNTS, DRAW_PER_SESSION, CHUNK)
     report(rows)
     check(rows)
     write_json(rows)
+    if args.json_out is not None:
+        write_payload(args.json_out, payload(rows))
     return 0
 
 

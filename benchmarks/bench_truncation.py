@@ -36,6 +36,7 @@ import time
 from pathlib import Path
 
 import numpy as np
+from bench_io import add_json_out_arg, write_payload
 
 from repro.ferret.config import FerretConfig
 from repro.lpn.params import LpnParams
@@ -201,13 +202,13 @@ def check(rows) -> None:
         )
 
 
-def write_json(rows, path: Path = JSON_PATH) -> None:
+def payload(rows) -> dict:
     speedups = {}
     for mode in ("pair", "exact"):
         cold = next(r for r in rows if r["mode"] == mode and not r["warm"])
         warm = next(r for r in rows if r["mode"] == mode and r["warm"])
         speedups[mode] = cold["online_s"] / warm["online_s"]
-    payload = {
+    return {
         "bench": "truncation",
         "config": {
             "n": PARAMS.n,
@@ -222,7 +223,10 @@ def write_json(rows, path: Path = JSON_PATH) -> None:
         "online_speedup_warm_vs_cold": speedups,
         "bytes_model_matches_measured": all(r["bytes_match"] for r in rows),
     }
-    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def write_json(rows, path: Path = JSON_PATH) -> None:
+    path.write_text(json.dumps(payload(rows), indent=2) + "\n")
     print(f"wrote {path}")
 
 
@@ -242,10 +246,13 @@ def main(argv=None) -> int:
         help="tiny element counts; skips the perf assertion and does not "
         "touch the committed JSON",
     )
+    add_json_out_arg(parser)
     args = parser.parse_args(argv)
     counts = SMOKE_ELEMENTS if args.smoke else N_ELEMENTS
     rows = run_all(counts)
     report(rows)
+    if args.json_out is not None:
+        write_payload(args.json_out, payload(rows))
     if args.smoke:
         assert all(r["bytes_match"] for r in rows), "byte model diverged"
         print("smoke OK")

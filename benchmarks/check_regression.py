@@ -1,0 +1,171 @@
+"""CI benchmark regression gate: smoke runs vs. the committed baseline.
+
+The committed ``BENCH_*.json`` files record full-scale headline numbers,
+but CI only runs the ``--smoke`` shapes -- so raw times are not
+comparable across scales (or runner hardware).  What IS comparable is
+each benchmark's **warm-path ratio**: how much faster the
+pooled/preprocessed path is than its cold counterpart *at the same
+smoke scale on the same machine*.  Machine speed cancels in the ratio,
+and a dead pool (production silently stalling the warm path) collapses
+it toward 1.
+
+This gate reads the smoke payloads the benchmarks wrote with
+``--json-out``, compares each warm-path metric against the committed
+smoke baseline (``BENCH_smoke_baseline.json``), and fails the job when
+a metric regressed by more than ``--factor`` (default 3x -- tolerant
+enough for CI-runner noise and scheduling jitter, tight enough that a
+dead pool or an accidentally-cold warm path cannot slip through).
+
+Usage:
+    # in CI, after running each bench with --smoke --json-out <dir>/...
+    python benchmarks/check_regression.py --smoke-dir <dir>
+
+    # after intentional perf changes, refresh the committed baseline
+    python benchmarks/check_regression.py --smoke-dir <dir> --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_smoke_baseline.json"
+
+#: Bench name -> warm-path ratio extractor over that bench's payload.
+METRICS = {
+    "runtime_service": lambda p: p["amortization_gain"],
+    "preprocessing": lambda p: p["online_speedup_warm_vs_cold"],
+    "truncation": lambda p: p["online_speedup_warm_vs_cold"]["pair"],
+    "pipeline": lambda p: p["ttfo_speedup"],
+}
+
+#: What each metric means, for the failure message.
+DESCRIPTIONS = {
+    "runtime_service": "per-COT amortization gain (1 session vs many)",
+    "preprocessing": "warm-pool vs cold online speedup",
+    "truncation": "pair-mode warm vs cold online speedup",
+    "pipeline": "time-to-first-layer-online, all-at-once vs pipelined",
+}
+
+#: Absolute floors, enforced independently of the relative factor.  A
+#: completely broken warm path collapses each ratio to ~1.0x, and for
+#: low-baseline metrics baseline/factor can fall below that -- the
+#: relative gate alone would wave the breakage through.  Floors sit
+#: between "dead" (~1.0x) and the low end of healthy smoke runs.
+FLOORS = {
+    "preprocessing": 1.2,
+    "pipeline": 1.3,
+}
+
+
+def load_smoke(smoke_dir: Path) -> dict:
+    metrics = {}
+    missing = []
+    for name, extract in METRICS.items():
+        path = smoke_dir / f"BENCH_{name}.smoke.json"
+        if not path.exists():
+            missing.append(str(path))
+            continue
+        metrics[name] = float(extract(json.loads(path.read_text())))
+    if missing:
+        raise SystemExit(
+            "regression gate: missing smoke payloads (did every bench run "
+            f"with --json-out?): {', '.join(missing)}"
+        )
+    return metrics
+
+
+def update_baseline(metrics: dict, path: Path) -> None:
+    payload = {
+        "bench": "smoke_baseline",
+        "note": (
+            "warm-path ratio metrics measured at --smoke scale on a healthy "
+            "tree; refreshed via benchmarks/check_regression.py --update"
+        ),
+        "metrics": metrics,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+
+
+def check(metrics: dict, baseline: dict, factor: float) -> list:
+    """Returns failure strings; empty means the gate passes."""
+    failures = []
+    for name, value in sorted(metrics.items()):
+        base = baseline.get(name)
+        floor = FLOORS.get(name, 0.0)
+        status = "ok"
+        if value < floor:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {DESCRIPTIONS[name]} fell to {value:.2f}x, below "
+                f"the absolute floor {floor:.2f}x -- the warm path is no "
+                "better than cold; is a pool dead or a prefill skipped?"
+            )
+        elif base is None:
+            status = "no baseline (skipped)"
+        elif value * factor < base:
+            status = "REGRESSED"
+            failures.append(
+                f"{name}: {DESCRIPTIONS[name]} fell to {value:.2f}x "
+                f"(baseline {base:.2f}x, allowed floor {base / factor:.2f}x) "
+                "-- warm path slowed >"
+                f"{factor:.0f}x; is a pool dead or a prefill skipped?"
+            )
+        base_str = "-" if base is None else f"{base:8.2f}x"
+        print(f"  {name:16s} {value:8.2f}x  baseline {base_str}  {status}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke-dir",
+        type=Path,
+        required=True,
+        help="directory holding the BENCH_<name>.smoke.json payloads",
+    )
+    parser.add_argument(
+        "--factor",
+        type=float,
+        default=3.0,
+        help="maximum tolerated warm-path slowdown vs baseline (default 3x)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the committed baseline from this smoke run instead "
+        "of gating against it",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help="baseline JSON path (default: committed BENCH_smoke_baseline.json)",
+    )
+    args = parser.parse_args(argv)
+    metrics = load_smoke(args.smoke_dir)
+    if args.update:
+        update_baseline(metrics, args.baseline)
+        return 0
+    if not args.baseline.exists():
+        raise SystemExit(
+            f"regression gate: no baseline at {args.baseline}; run with "
+            "--update on a healthy tree first"
+        )
+    baseline = json.loads(args.baseline.read_text())["metrics"]
+    print(f"benchmark regression gate (tolerance {args.factor:.0f}x):")
+    failures = check(metrics, baseline, args.factor)
+    if failures:
+        print("\nFAIL:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("regression gate OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

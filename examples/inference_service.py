@@ -15,13 +15,20 @@ This example runs the whole shape end to end:
   pairs, random OTs) above their low watermarks in a worker thread;
 * a **preprocessing planner** walks a quantized 3-layer MLP graph --
   matmul -> trunc -> ReLU -> matmul -> trunc -> matmul -- computes its
-  exact correlation demand (matrix triples, comparison COTs, bit
-  triples, the B2A ring triples of secure truncation) and prefills the
-  pools (``plan -> prefill``);
-* the **online phase** then runs the planned quantized inference with
-  per-layer fixed-point rescaling; the result is **bit-exact** against
-  a plaintext numpy fixed-point oracle, every draw matches the plan,
-  and no pool ever stalls;
+  exact per-layer correlation demand (matrix triples, comparison COTs,
+  bit triples, the B2A ring triples of secure truncation);
+* the **pipelined preprocessing** phase (``plan.prefill_pipelined``)
+  then streams that demand layer by layer: the online phase of layer i
+  starts as soon as layer i's correlations are pooled, while a
+  background thread keeps layer i+1's production running under the
+  online rounds -- the software analogue of Ironman's Fig. 8 schedule
+  overlap.  Each linear+rescale block runs on the fused
+  ``matmul_rescale_via_service`` verb, so one allocation round-trip
+  covers the matrix-triple draw and the truncation draws;
+* the result is **bit-exact** against a plaintext numpy fixed-point
+  oracle, every draw matches the plan, and no planned pool ever
+  stalls -- layer 0's preprocessing is the only thing the first online
+  round ever waited for;
 * finally four legacy mixed sessions (two ReLU batches, a MaxPool
   window, a GMW AND layer) plus a pooled pair-mode truncation demo run
   concurrently over the same link.
@@ -34,7 +41,7 @@ import threading
 import numpy as np
 
 from repro.ferret.config import FerretConfig
-from repro.mpc.matmul import matmul_via_service
+from repro.mpc.matmul import matmul_rescale_via_service, matmul_via_service
 from repro.mpc.maxpool import max_via_service
 from repro.mpc.relu import relu_via_service
 from repro.mpc.sharing import (
@@ -77,13 +84,22 @@ def build_model() -> Graph:
     return g
 
 
-def quantized_inference(session, x_sh, w1_sh, w2_sh, w3_sh, seed):
-    """The planned online phase with per-layer fixed-point rescaling."""
+def quantized_inference(session, pipe, x_sh, w1_sh, w2_sh, w3_sh, seed):
+    """The pipelined online phase with per-layer fixed-point rescaling.
+
+    Each block gates on ``pipe.wait_layer`` -- the index of the LAST
+    plan layer whose correlations it draws -- so layer i's openings run
+    while the service produces layer i+1's triples underneath.
+    """
     rng = np.random.default_rng(seed)
-    h = matmul_via_service(session, x_sh, w1_sh, fx=FX, rescale=True, rng=rng)
+    pipe.wait_layer(1)  # linear1 + rescale pooled; layers 2+ still producing
+    h = matmul_rescale_via_service(session, x_sh, w1_sh, FX, mode="exact", rng=rng)
+    pipe.wait_layer(2)
     r, _ = relu_via_service(session, ArithmeticShares(h.reshape(-1), RING_BITS), rng)
     h = r.values.astype(np.uint64).reshape(M, H1)
-    h = matmul_via_service(session, h, w2_sh, fx=FX, rescale=True, rng=rng)
+    pipe.wait_layer(4)
+    h = matmul_rescale_via_service(session, h, w2_sh, FX, mode="exact", rng=rng)
+    pipe.wait_layer(5)
     return matmul_via_service(session, h, w3_sh)
 
 
@@ -144,7 +160,7 @@ def main():
     svc0 = CorrelationService(0, mux0, cfg, tuning).start()
     svc1 = CorrelationService(1, mux1, cfg, tuning).start()
 
-    # ---- preprocessing phase: plan the quantized model, prefill -----------
+    # ---- preprocessing phase: plan the quantized model ---------------------
     model = build_model()
     plan = plan_graph(model, bits=RING_BITS, fx=FX)
     print()
@@ -153,15 +169,13 @@ def main():
         plan.summary_rows(),
         title=f"preprocessing plan: {plan.model} (fixed point {FX.bits}.{FX.frac_bits})",
     )
-    run_concurrently(
-        lambda: plan.prefill(svc0, timeout=180.0),
-        lambda: plan.prefill(svc1, timeout=180.0),
-    )
-    print("pools prefilled:", ", ".join(
-        f"{kind}>={count}" for kind, count in sorted(plan.pool_targets().items())
-    ))
     stall_before = {k: s["stalled_draws"] for k, s in svc0.pool_stats().items()}
     draws_before = dict(svc0.session_draws)
+
+    # Pipelined mode: production is scheduled layer by layer and the
+    # online phase below starts as soon as layer 0's demand is pooled.
+    pipe0 = plan.prefill_pipelined(svc0, timeout=180.0)
+    pipe1 = plan.prefill_pipelined(svc1, timeout=180.0)
 
     # ---- secret fixed-point inputs ----------------------------------------
     x_plain = rng.integers(-8, 8, (M, K))
@@ -173,22 +187,31 @@ def main():
     w2_sh = share_arith_nd(from_signed(w2_plain, RING_BITS), rng, bits=RING_BITS)
     w3_sh = share_arith_nd(from_signed(w3_plain, RING_BITS), rng, bits=RING_BITS)
 
-    # ---- online phase 1: the planned quantized MLP, alone -----------------
+    # ---- online phase 1: the pipelined quantized MLP, alone ---------------
     z0, z1 = run_concurrently(
         lambda: quantized_inference(
-            svc0.session("qmlp"), x_sh[0], w1_sh[0], w2_sh[0], w3_sh[0], 30
+            svc0.session("qmlp"), pipe0, x_sh[0], w1_sh[0], w2_sh[0], w3_sh[0], 30
         ),
         lambda: quantized_inference(
-            svc1.session("qmlp"), x_sh[1], w1_sh[1], w2_sh[1], w3_sh[1], 40
+            svc1.session("qmlp"), pipe1, x_sh[1], w1_sh[1], w2_sh[1], w3_sh[1], 40
         ),
         timeout=300.0,
     )
+    pipe0.finish()
+    pipe1.finish()
     got = (z0 + z1) & MASK
     expect = fixed_point_oracle(x_plain, w1_plain, w2_plain, w3_plain)
     assert np.array_equal(got, expect), "quantized inference != fixed-point oracle"
     print(f"\nquantized 3-layer MLP online output bit-exact vs oracle {got.shape}")
+    ready = [pipe0.ready_elapsed(i) for i in range(pipe0.n_layers)]
+    print(
+        "pipelined prefill: first layer online after "
+        f"{ready[1]:.2f}s, full plan pooled after {ready[-1]:.2f}s"
+    )
 
-    # The planner's demand is exact: draws == plan, zero online stalls.
+    # The planner's demand is exact: draws == plan, and with the online
+    # phase gated on wait_layer no planned pool ever stalled -- layer
+    # 0's production is the only thing the first draw waited for.
     for kind, count in plan.pool_targets().items():
         drawn = svc0.session_draws.get(kind, 0) - draws_before.get(kind, 0)
         assert drawn == count, f"{kind}: drew {drawn}, planned {count}"

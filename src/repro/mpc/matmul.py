@@ -293,3 +293,49 @@ def matmul_via_service(
             session, z.reshape(-1), fx, mode=trunc_mode, rng=rng
         ).reshape(z.shape)
     return z
+
+
+def matmul_rescale_via_service(
+    session,
+    x_share: np.ndarray,
+    y_share: np.ndarray,
+    fx,
+    mode: str = "exact",
+    rng=None,
+) -> np.ndarray:
+    """Fused secure MatMul + fixed-point rescale on one session verb.
+
+    Functionally identical to ``matmul_via_service(..., rescale=True)``
+    -- same correlation kinds and counts, so preprocessing plans price
+    both paths the same -- but the matrix-triple draw and the
+    truncation draws share ONE allocation round-trip
+    (:meth:`repro.runtime.service.ServiceSession.draw_matmul_rescale`):
+    party 0 announces every pool offset in a single message instead of
+    one per kind.  Under a pipelined prefill this is the per-layer
+    online verb, so each layer costs one allocation round plus its
+    opening rounds and nothing else.
+    """
+    if fx is None:
+        raise ParameterError("the fused matmul+rescale verb needs a FixedPointConfig")
+    x_share = np.asarray(x_share, dtype=np.uint64)
+    y_share = np.asarray(y_share, dtype=np.uint64)
+    if x_share.ndim != 2 or y_share.ndim != 2 or x_share.shape[1] != y_share.shape[0]:
+        raise ParameterError("share shapes must be (m,k) and (k,n)")
+    triple, trunc = session.draw_matmul_rescale(
+        x_share.shape[0], x_share.shape[1], y_share.shape[1], fx, mode
+    )
+    z = matmul_online(session.channel, x_share, y_share, triple, session.party)
+    from repro.mpc.truncation import truncate_pair_online, truncate_shares
+
+    flat = z.reshape(-1)
+    if mode == "pair":
+        out = truncate_pair_online(
+            session.channel, flat, trunc["pairs"], fx, session.party
+        )
+    else:
+        out = truncate_shares(
+            session.channel, flat, fx, session.party,
+            trunc["cot_pool"], trunc["triples"], trunc["ring_triples"],
+            rng=rng, exact=(mode == "exact"),
+        )
+    return np.asarray(out, dtype=np.uint64).reshape(z.shape)

@@ -18,10 +18,13 @@ single production stall (asserted by the test suite).
 
 from __future__ import annotations
 
+import json
 import math
+import threading
+import time
 from dataclasses import dataclass, field
 
-from repro.errors import ParameterError
+from repro.errors import ParameterError, ServiceError
 from repro.mpc.compare import cots_needed, triples_needed
 from repro.mpc.matmul import MatmulDims, matmul_cots
 from repro.mpc.truncation import (
@@ -213,6 +216,59 @@ def layer_demand(
     return demand
 
 
+def _layer_produce_counts(demand: CorrelationDemand, bits: int) -> dict:
+    """Pool production one layer's demand requires, per kind.
+
+    Consumer draws (``as_pool_targets``) plus the bit triples that this
+    layer's truncation-pair generation consumes *internally* -- the
+    derived-of-derived input the worker must have produced before the
+    TPRC batch can run.
+    """
+    counts = dict(demand.as_pool_targets())
+    internal_tri = sum(
+        count * trunc_pair_bit_triples(bits, frac)
+        for frac, count in demand.trunc_pairs.items()
+    )
+    if internal_tri:
+        counts["tri"] = counts.get("tri", 0) + internal_tri
+    return counts
+
+
+def _layer_internal_cots(demand: CorrelationDemand, bits: int) -> dict:
+    """Raw COTs one layer's *derived production* reserves internally.
+
+    Bit triples (including the ones truncation-pair generation eats)
+    cost one COT per direction, ring triples ``bits`` per direction,
+    truncation pairs their forward COTs.  A matrix triple draws its
+    whole demand from ONE direction chosen by stock at runtime, so it
+    is charged to BOTH directions here -- conservative by at most one
+    layer's matrix demand in the unused direction, which the extend
+    batch quantum absorbs.  The pipeline adds this margin to the raw
+    COT watermark *before* scheduling the layer's derived production,
+    so internal reserves can never eat the stock that keeps already
+    ready layers' consumer draws warm.
+    """
+    tri = demand.bit_triples + sum(
+        count * trunc_pair_bit_triples(bits, frac)
+        for frac, count in demand.trunc_pairs.items()
+    )
+    mtri = sum(
+        int(matmul_cots(dims, bits)) * count
+        for dims, count in demand.matrix.items()
+    )
+    fwd = tri + demand.ring_triples * bits + mtri + sum(
+        count * trunc_pair_cots(bits, frac)
+        for frac, count in demand.trunc_pairs.items()
+    )
+    rev = tri + demand.ring_triples * bits + mtri
+    counts = {}
+    if fwd:
+        counts["cot/fwd"] = fwd
+    if rev:
+        counts["cot/rev"] = rev
+    return counts
+
+
 #: Column titles matching :meth:`PreprocessingPlan.summary_rows`.
 SUMMARY_HEADER = ["layer", "cot_fwd", "cot_rev", "bit triples", "matrix", "trunc pairs"]
 
@@ -229,24 +285,79 @@ class PreprocessingPlan:
     def pool_targets(self) -> dict:
         return self.demand.as_pool_targets()
 
-    def prefill(self, service, timeout: float = None) -> None:
+    def _validate_service(self, service) -> None:
+        if service.tuning.ring_bits != self.bits:
+            raise ParameterError(
+                f"plan is for {self.bits}-bit rings but the service produces "
+                f"{service.tuning.ring_bits}-bit triples"
+            )
+
+    def _ensure_pools(self, service) -> None:
+        for dims in self.demand.matrix:
+            service.matrix_pool(dims.m, dims.k, dims.n)
+        for frac in self.demand.trunc_pairs:
+            service.trunc_pool(frac)
+
+    def prefill(self, service, timeout: float = None, one_shot: bool = False) -> None:
         """Drive one party's service through the preprocessing phase.
 
         Ensures every shape-keyed matrix pool exists, then blocks until
         all planned correlations are produced ahead.  Both parties call
         this (leader raises watermarks, follower waits for the mirrored
         production); afterwards the online phase runs stall-free.
+        ``one_shot=True`` restores the pre-plan watermarks once the
+        targets are met, so a plan served exactly once does not leave
+        inflated refill targets behind.
         """
-        if service.tuning.ring_bits != self.bits:
-            raise ParameterError(
-                f"plan is for {self.bits}-bit rings but the service produces "
-                f"{service.tuning.ring_bits}-bit triples"
-            )
-        for dims in self.demand.matrix:
-            service.matrix_pool(dims.m, dims.k, dims.n)
-        for frac in self.demand.trunc_pairs:
-            service.trunc_pool(frac)
-        service.prefill(self.pool_targets(), timeout)
+        self._validate_service(service)
+        self._ensure_pools(service)
+        service.prefill(self.pool_targets(), timeout, one_shot=one_shot)
+
+    def layer_schedule(self) -> tuple:
+        """Per-layer production targets for the pipeline.
+
+        Returns ``(cum_derived, cum_cot, internal_cot)``: for each
+        layer index, the total items every derived pool kind must have
+        produced for layers ``0..i`` inclusive (consumer draws plus the
+        bit triples TPRC generation consumes internally); the
+        cumulative raw consumer COT draws per direction; and that
+        single layer's internal raw-COT production demand
+        (:func:`_layer_internal_cots`).  Raw COT stock is managed by
+        level watermarks rather than stream positions because extends
+        arrive in fixed-size batches and derived production also feeds
+        on them.
+        """
+        cum_derived, cum_cot, internal_cot = [], [], []
+        total_d, total_c = {}, {}
+        for _, demand in self.per_layer:
+            for kind, count in _layer_produce_counts(demand, self.bits).items():
+                if kind.startswith("cot/"):
+                    total_c[kind] = total_c.get(kind, 0) + count
+                else:
+                    total_d[kind] = total_d.get(kind, 0) + count
+            cum_derived.append(dict(total_d))
+            cum_cot.append(dict(total_c))
+            internal_cot.append(_layer_internal_cots(demand, self.bits))
+        return cum_derived, cum_cot, internal_cot
+
+    def prefill_pipelined(
+        self, service, timeout: float = None, tag: str = None
+    ) -> "PipelinedPrefill":
+        """Start the streaming preprocessing pipeline (non-blocking).
+
+        Both parties call this with their service, then run the online
+        phase layer by layer, gating each layer's draws on
+        :meth:`PipelinedPrefill.wait_layer`.  Layer i's online rounds
+        run while the worker produces layer i+1's correlations in the
+        background -- the software analogue of Ironman's schedule
+        overlap (Fig. 8) -- so time-to-first-layer-online is one
+        layer's preprocessing, not the whole plan's.  Call
+        :meth:`PipelinedPrefill.finish` after the online phase to
+        restore steady-state watermarks and surface worker errors.
+        """
+        self._validate_service(service)
+        self._ensure_pools(service)
+        return PipelinedPrefill(self, service, timeout, tag)
 
     def summary_rows(self) -> list:
         """Printable per-layer rows: layer, COTs per direction, bit
@@ -287,3 +398,192 @@ def plan_graph(
         per_layer.append((layer.name, demand))
         total.merge(demand)
     return PreprocessingPlan(graph.name, bits, total, per_layer)
+
+
+class PipelinedPrefill:
+    """Streaming preprocessing: layer-by-layer production overlapping
+    the online phase.
+
+    Created by :meth:`PreprocessingPlan.prefill_pipelined` on BOTH
+    parties.  A background thread walks the plan's layers in order; for
+    each layer it schedules exactly that layer's correlation production
+    (absolute produce targets for derived pools, cumulative consumer
+    watermarks for raw COTs), waits for it to land, and marks the layer
+    ready -- then immediately moves on to the next layer while the
+    caller runs the current layer's online rounds.  The online phase
+    gates each layer's draws on :meth:`wait_layer`, so it starts after
+    ONE layer's preprocessing instead of the whole plan's, and never
+    stalls a pool afterwards.
+
+    Determinism: absolute targets are computed from the leader's pool
+    baselines and shipped to the follower in-band over a dedicated
+    ``pipe/<plan>`` sub-channel (production streams are mirrored
+    command-by-command, so leader stream positions are valid on both
+    sides).  The follower waits on the same produced counts; only the
+    leader schedules.
+
+    The pipeline assumes the planned workload is the dominant consumer
+    while it runs (same contract as ``prefill``): concurrent unplanned
+    sessions may re-introduce stalls, never wrong results.
+    """
+
+    def __init__(self, plan: PreprocessingPlan, service, timeout: float, tag: str):
+        self.plan = plan
+        self.service = service
+        self.timeout = (
+            service.tuning.take_timeout_s if timeout is None else timeout
+        )
+        self.error = None
+        self.n_layers = len(plan.per_layer)
+        self._cum_derived, self._cum_cot, self._internal_cot = plan.layer_schedule()
+        self._ready = [threading.Event() for _ in range(self.n_layers)]
+        self._t0 = time.monotonic()
+        self._ready_elapsed = [None] * self.n_layers
+        self._channel = service.mux.sub(tag or f"pipe/{plan.model}")
+        self._draws_baseline = dict(service.session_draws)
+        self._saved_cot_marks = None
+        self._finished = False
+        if service.party == 0:
+            kinds = set()
+            for layer in self._cum_cot:
+                kinds.update(layer)
+            for layer in self._internal_cot:
+                kinds.update(layer)
+            # A forward-only service has no cot/rev pool; the internal
+            # margin charged to the missing direction simply cannot be
+            # reserved there (matrix production falls back to cot/fwd,
+            # whose own charge already covers it).
+            self._saved_cot_marks = {
+                kind: service.pools[kind].watermarks
+                for kind in sorted(kinds)
+                if kind in service.pools
+            }
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"pipelined-prefill-p{service.party}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    # -- background production driver ---------------------------------------
+    def _run(self) -> None:
+        try:
+            svc = self.service
+            derived_kinds = sorted(self._cum_derived[-1]) if self._cum_derived else []
+            if svc.party == 0:
+                baseline = {
+                    kind: svc.pools[kind].produced for kind in derived_kinds
+                }
+                self._channel.send_bytes(json.dumps(baseline).encode())
+            else:
+                baseline = json.loads(
+                    self._channel.recv_bytes(timeout=self.timeout).decode()
+                )
+            for i in range(self.n_layers):
+                deadline = time.monotonic() + self.timeout
+                if svc.party == 0:
+                    # Raw COT stock first: before this layer's derived
+                    # production may reserve raw COTs internally, the
+                    # level must cover (a) every already-ready layer's
+                    # consumer demand not yet drawn -- so the overlapped
+                    # online phase keeps finding produced ranges -- plus
+                    # (b) this layer's internal reserves.  The watermark
+                    # is re-set (possibly LOWERED) each layer from the
+                    # live draw counters, so extends track the plan
+                    # just-in-time instead of front-loading the total.
+                    for kind, level in self._cot_levels(i).items():
+                        svc._raise_if_failed()
+                        pool = svc.pools[kind]
+                        low = max(level, self._saved_cot_marks[kind][0])
+                        pool.set_watermarks(low, low)
+                        pool.wait_level(low, deadline - time.monotonic())
+                targets = {
+                    kind: baseline[kind] + count
+                    for kind, count in self._cum_derived[i].items()
+                }
+                if svc.party == 0:
+                    svc.raise_produce_targets(targets)
+                for kind, target in targets.items():
+                    svc._raise_if_failed()
+                    svc.pools[kind].wait_produced(
+                        target, deadline - time.monotonic()
+                    )
+                self._ready_elapsed[i] = time.monotonic() - self._t0
+                self._ready[i].set()
+        except BaseException as exc:  # noqa: BLE001 - crossing a thread
+            self.error = exc
+
+    def _cot_levels(self, i: int) -> dict:
+        """Raw-COT level targets before layer i's production starts:
+        undrawn consumer demand of layers ``0..i`` (consumers of layer
+        i start the moment it is marked ready) plus layer i's internal
+        production reserves."""
+        svc = self.service
+        levels = {}
+        kinds = (set(self._cum_cot[i]) | set(self._internal_cot[i])) & set(
+            self._saved_cot_marks
+        )
+        for kind in sorted(kinds):
+            drawn = svc.session_draws.get(kind, 0) - self._draws_baseline.get(
+                kind, 0
+            )
+            undrawn = max(0, self._cum_cot[i].get(kind, 0) - drawn)
+            levels[kind] = undrawn + self._internal_cot[i].get(kind, 0)
+        return levels
+
+    # -- caller side ---------------------------------------------------------
+    def _check_failed(self) -> None:
+        if self.error is not None:
+            raise ServiceError(
+                f"pipelined prefill failed: {self.error!r}"
+            ) from self.error
+        self.service._raise_if_failed()
+
+    def wait_layer(self, i: int, timeout: float = None) -> None:
+        """Block until layers ``0..i`` have their correlations pooled."""
+        if not 0 <= i < self.n_layers:
+            raise ParameterError(f"layer index {i} outside plan of {self.n_layers}")
+        deadline = time.monotonic() + (
+            self.timeout if timeout is None else timeout
+        )
+        while not self._ready[i].wait(0.05):
+            self._check_failed()
+            if time.monotonic() > deadline:
+                raise ServiceError(
+                    f"pipelined prefill: layer {i} "
+                    f"({self.plan.per_layer[i][0]}) not ready in time"
+                )
+        self._check_failed()
+
+    def wait_all(self, timeout: float = None) -> None:
+        if self.n_layers:
+            self.wait_layer(self.n_layers - 1, timeout)
+
+    def ready_elapsed(self, i: int) -> float:
+        """Seconds from pipeline start until layer i was ready."""
+        return self._ready_elapsed[i]
+
+    def finish(self, timeout: float = None) -> None:
+        """Join the producer thread and restore steady-state watermarks.
+
+        Call after the online phase: the raised raw-COT consumer
+        watermarks drop back to their pre-pipeline values (produce
+        targets are absolute, so they are already inert), leaving the
+        service in the same steady-state shape a one-shot ``prefill``
+        leaves behind.  Idempotent; raises if either the pipeline
+        thread or the service worker failed.
+        """
+        if self._finished:
+            self._check_failed()
+            return
+        self._thread.join(self.timeout if timeout is None else timeout)
+        if self._thread.is_alive():
+            # Still producing: restoring now would be clobbered by the
+            # thread's own per-layer watermark updates.  Leave state
+            # untouched so a later finish() can complete the job.
+            raise ServiceError("pipelined prefill producer did not finish in time")
+        if self._saved_cot_marks is not None:
+            for kind, (low, high) in self._saved_cot_marks.items():
+                self.service.pools[kind].set_watermarks(low, high)
+        self._finished = True
+        self._check_failed()

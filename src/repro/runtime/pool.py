@@ -94,6 +94,7 @@ class CorrelationPool:
         self._cond = threading.Condition(self._lock)
         self._produced = 0  # absolute count appended so far
         self._reserved = 0  # absolute count claimed so far
+        self._produce_target = 0  # absolute produced-count floor
         self._base = 0  # absolute index of the first retained element
         self._done_upto = 0  # contiguous prefix fully taken
         self._pending_done: dict = {}  # lo -> hi of out-of-order takes
@@ -115,12 +116,24 @@ class CorrelationPool:
         return self._produced - self._reserved
 
     @property
+    def produce_target(self) -> int:
+        return self._produce_target
+
+    @property
     def deficit(self) -> int:
-        """Items production should add to get back to the high watermark."""
-        return max(0, self.high_watermark - self.level)
+        """Items production should add: back to the high watermark, or
+        out to the absolute produce target, whichever asks for more."""
+        return max(
+            0,
+            self.high_watermark - self.level,
+            self._produce_target - self._produced,
+        )
 
     def needs_refill(self) -> bool:
-        return self.level < self.low_watermark
+        return (
+            self.level < self.low_watermark
+            or self._produced < self._produce_target
+        )
 
     # -- producer side ------------------------------------------------------
     def _grow(self, i: int, arr: np.ndarray, used: int) -> None:
@@ -171,6 +184,43 @@ class CorrelationPool:
                 self.high_watermark = max(
                     self.high_watermark, high, self.low_watermark
                 )
+            if self.needs_refill():
+                self.refill.set()
+
+    @property
+    def watermarks(self) -> tuple:
+        """(low, high) refill watermarks, e.g. to snapshot before a
+        one-shot prefill raises them."""
+        return (self.low_watermark, self.high_watermark)
+
+    def set_watermarks(self, low: int, high: int = None) -> None:
+        """Set (possibly LOWERING) the refill watermarks.
+
+        The inverse of :meth:`raise_watermarks`: a one-shot
+        preprocessing plan restores the pre-plan watermarks after its
+        targets are met, so the steady-state service does not keep
+        refilling to a demand that was consumed once and is gone.
+        """
+        with self._cond:
+            self.low_watermark = low
+            self.high_watermark = max(low, high if high is not None else low)
+            if self.needs_refill():
+                self.refill.set()
+
+    def raise_produce_target(self, produced: int) -> None:
+        """Ask production for an absolute produced-count floor.
+
+        Unlike a watermark (a *level*: produced ahead of reservations,
+        so consumer draws re-trigger refills forever), a produce target
+        is an absolute position in the production stream: once
+        ``self.produced`` reaches it, it is inert.  The pipelined
+        preprocessing planner uses this to schedule exactly one layer's
+        demand without leaving steady-state refill pressure behind.
+        Never lowers an existing target.
+        """
+        with self._cond:
+            if produced > self._produce_target:
+                self._produce_target = produced
             if self.needs_refill():
                 self.refill.set()
 

@@ -98,6 +98,10 @@ class ServiceTuning:
     preprocessing plans must be computed at the same width.
     ``enable_ring_triples=None`` follows ``enable_reverse`` (ring
     triples, like bit triples, need OTs both ways).
+    ``tprc_batch_chunks`` caps how many ``tprc_chunk``-sized batches
+    one TPRC command may fuse when stock allows: pair generation pays
+    its millionaires'/B2A message rounds once per command, so fusing
+    chunks amortizes the per-chunk opening rounds of deep deficits.
     """
 
     cot_low: int = None
@@ -110,6 +114,7 @@ class ServiceTuning:
     rtri_high: int = 0
     rtri_chunk: int = 256
     tprc_chunk: int = 64
+    tprc_batch_chunks: int = 8
     rot_low: int = 0
     rot_high: int = 512
     rot_chunk: int = 512
@@ -343,10 +348,17 @@ class CorrelationService:
     def pool_stats(self) -> dict:
         with self._alloc_lock:
             pools = list(self.pools.items())
-        return {kind: pool.stats.as_dict() for kind, pool in pools}
+        out = {}
+        for kind, pool in pools:
+            stats = pool.stats.as_dict()
+            stats["low_watermark"], stats["high_watermark"] = pool.watermarks
+            stats["level"] = pool.level
+            stats["produced"] = pool.produced
+            out[kind] = stats
+        return out
 
     # -- preprocessing phase -------------------------------------------------
-    def prefill(self, targets: dict, timeout: float = None) -> None:
+    def prefill(self, targets: dict, timeout: float = None, one_shot: bool = False) -> None:
         """Run the preprocessing phase: block until every pool in
         ``targets`` holds that many items produced ahead.
 
@@ -357,6 +369,12 @@ class CorrelationService:
         warm for the next batch after consumption -- the steady-state
         service shape.  Both parties call this before their online
         phase; the follower waits for the mirrored production to land.
+
+        With ``one_shot=True`` the leader restores every targeted
+        pool's pre-call watermarks once the targets are met: the plan
+        is served exactly once and no inflated refill target is left
+        behind to make the worker regenerate demand that will never
+        come back (the pipelined-prefill contract).
         """
         timeout = self.tuning.take_timeout_s if timeout is None else timeout
         deadline = time.monotonic() + timeout
@@ -364,24 +382,71 @@ class CorrelationService:
             for kind in targets:
                 if kind not in self.pools:
                     raise ServiceError(f"prefill: unknown pool kind {kind!r}")
+        saved = None
         if self.party == 0:
+            if one_shot:
+                saved = {kind: self.pools[kind].watermarks for kind in targets}
             for kind, count in targets.items():
                 if count > 0:
                     self.pools[kind].raise_watermarks(low=count, high=count)
         self._wake.set()
-        for kind, count in targets.items():
-            if count <= 0:
-                continue
-            remaining = deadline - time.monotonic()
-            self._raise_if_failed()
+        live = {kind: count for kind, count in targets.items() if count > 0}
+        try:
             if self.party == 0:
-                self.pools[kind].wait_level(count, remaining)
+                # Loop until every target holds SIMULTANEOUSLY: derived
+                # production scheduled while one kind is being waited on
+                # reserves raw COTs internally and can eat an
+                # already-checked level back below its target.  Once all
+                # derived targets are met that internal consumption
+                # stops, so the re-check converges.
+                while True:
+                    for kind, count in live.items():
+                        self._raise_if_failed()
+                        self.pools[kind].wait_level(
+                            count, deadline - time.monotonic()
+                        )
+                    if all(
+                        self.pools[kind].level >= count
+                        for kind, count in live.items()
+                    ):
+                        break
             else:
-                # The follower never reserves, so "produced ahead" is
-                # measured against what it has already taken -- repeated
-                # prefills wait for fresh production, not history.
-                self.pools[kind].wait_available(count, remaining)
+                for kind, count in live.items():
+                    self._raise_if_failed()
+                    # The follower never reserves, so "produced ahead" is
+                    # measured against what it has already taken -- repeated
+                    # prefills wait for fresh production, not history.
+                    self.pools[kind].wait_available(
+                        count, deadline - time.monotonic()
+                    )
+        finally:
+            if saved is not None:
+                for kind, (low, high) in saved.items():
+                    self.pools[kind].set_watermarks(low, high)
         self._raise_if_failed()
+
+    def raise_produce_targets(self, targets: dict) -> None:
+        """Leader-side: schedule production out to absolute stream positions.
+
+        ``targets`` maps pool kind to an absolute produced-count floor
+        (see :meth:`CorrelationPool.raise_produce_target`).  Unlike
+        :meth:`prefill` this does not block and does not touch
+        watermarks: the pipelined planner raises one layer's targets,
+        lets the online phase overlap, and the targets go inert as soon
+        as production passes them.
+        """
+        if self.party != 0:
+            raise ServiceError("only party 0 schedules production")
+        with self._alloc_lock:
+            for kind in targets:
+                if kind not in self.pools:
+                    raise ServiceError(
+                        f"produce target: unknown pool kind {kind!r}"
+                    )
+            pools = {kind: self.pools[kind] for kind in targets}
+        for kind, target in targets.items():
+            pools[kind].raise_produce_target(target)
+        self._wake.set()
 
     # -- worker -------------------------------------------------------------
     def _run(self) -> None:
@@ -558,14 +623,18 @@ class CorrelationService:
         Pair generation is derived-of-derived production: it consumes
         forward COTs *and* pooled bit triples.  When triple stock is the
         bottleneck the leader schedules a triple batch first, so the
-        worker never waits on its own output.
+        worker never waits on its own output.  Deep deficits fuse up to
+        ``tprc_batch_chunks`` chunks into ONE command when stock allows,
+        so pair production pays the millionaires'/B2A opening rounds
+        once per fused batch instead of once per chunk.
         """
         t = self.tuning
         pools = self.pools
+        batch_cap = t.tprc_chunk * max(1, t.tprc_batch_chunks)
         for pool in list(pools.values()):
             if not isinstance(pool, TruncPairPool) or not pool.needs_refill():
                 continue
-            want = min(pool.deficit, t.tprc_chunk)
+            want = min(pool.deficit, batch_cap)
             want = min(
                 want,
                 pools["cot/fwd"].level // pool.cots_per_item,
@@ -575,7 +644,7 @@ class CorrelationService:
                 if pools["cot/fwd"].level < pool.cots_per_item:
                     return (OP_EXTEND_FWD, 0, 0, 0)
                 # Starved on bit triples: run one triple batch.
-                need = min(pool.deficit, t.tprc_chunk) * pool.triples_per_item
+                need = min(pool.deficit, batch_cap) * pool.triples_per_item
                 n = min(t.triple_chunk, max(need - pools["tri"].level, 1))
                 avail = min(pools["cot/fwd"].level, pools["cot/rev"].level)
                 if avail <= 0:
@@ -743,6 +812,26 @@ class ServiceSession:
             lo, n, timeout=self.service.tuning.take_timeout_s
         )
 
+    def _alloc_many(self, requests: list) -> list:
+        """One allocation round-trip for several draws.
+
+        ``requests`` is a list of ``(kind, n)``; party 0 reserves every
+        range and announces ALL offsets in one message (a uint64
+        vector), so a fused verb pays one wire round for its whole
+        correlation shopping list instead of one per pool kind.
+        """
+        if self.party == 0:
+            offsets = [self.service.reserve(kind, n) for kind, n in requests]
+            self.channel.send_ring(np.asarray(offsets, dtype=np.uint64))
+            return offsets
+        got = self.channel.recv_ring()
+        if got.shape[0] != len(requests):
+            raise ServiceError(
+                f"fused allocation expected {len(requests)} offsets, "
+                f"got {got.shape[0]}"
+            )
+        return [int(v) for v in got]
+
     # -- typed draws ---------------------------------------------------------
     def draw_sender_cots(self, n: int) -> tuple:
         """(CotSenderBatch, absolute offset) in this party's send direction."""
@@ -799,6 +888,67 @@ class ServiceSession:
         pool = self.service.matrix_pool(m, k, n)
         lo = self._alloc(pool.name, 1)
         return pool.take_triple(lo, timeout=self.service.tuning.take_timeout_s)
+
+    def draw_matmul_rescale(self, m: int, k: int, n: int, fx, mode: str = "pair"):
+        """Fused matmul+rescale draw: ONE allocation round-trip covers
+        the matrix-triple draw AND the truncation material for the
+        ``m*n`` product elements.
+
+        Returns ``(matrix_triple, trunc_material)`` where the material
+        dict holds ``pairs`` (pair mode) or ``cot_pool`` / ``triples``
+        / ``ring_triples`` (wrap/exact mode) -- exactly what
+        :func:`repro.mpc.truncation.truncate_pair_online` /
+        :func:`~repro.mpc.truncation.truncate_shares` consume.  The
+        per-kind draw counts are identical to the unfused
+        ``draw_matrix_triple`` + ``trunc_via_service`` path, so
+        preprocessing plans price both the same.
+        """
+        from repro.mpc.truncation import (
+            trunc_bit_triples,
+            trunc_cots,
+            trunc_ring_triples,
+        )
+
+        svc_bits = self.service.tuning.ring_bits
+        if svc_bits != fx.bits:
+            raise ServiceError(
+                f"service produces {svc_bits}-bit correlations, "
+                f"config wants {fx.bits}"
+            )
+        mpool = self.service.matrix_pool(m, k, n)
+        n_el = m * n
+        requests = [(mpool.name, 1)]
+        if mode == "pair":
+            tpool = self.service.trunc_pool(fx.frac_bits)
+            requests.append((tpool.name, n_el))
+        elif mode in ("wrap", "exact"):
+            exact = mode == "exact"
+            requests.append(("cot/fwd", trunc_cots(n_el, fx, exact)))
+            requests.append(("tri", trunc_bit_triples(n_el, fx, exact)))
+            requests.append(("rtri", trunc_ring_triples(n_el, fx, exact)))
+        else:
+            raise ServiceError(f"unknown truncation mode {mode!r}")
+        offsets = self._alloc_many(requests)
+        timeout = self.service.tuning.take_timeout_s
+        triple = mpool.take_triple(offsets[0], timeout=timeout)
+        if mode == "pair":
+            pairs = tpool.take_pairs(offsets[1], n_el, timeout=timeout)
+            return triple, {"pairs": pairs}
+        batch = self._take("cot/fwd", offsets[1], requests[1][1])
+        cot_pool = (
+            CotPool(sender=batch) if self.party == 0 else CotPool(receiver=batch)
+        )
+        triples = self.service.pools["tri"].take_triples(
+            offsets[2], requests[2][1], timeout=timeout
+        )
+        ring_triples = self.service.pools["rtri"].take_triples(
+            offsets[3], requests[3][1], timeout=timeout
+        )
+        return triple, {
+            "cot_pool": cot_pool,
+            "triples": triples,
+            "ring_triples": ring_triples,
+        }
 
     def draw_random_ots_send(self, n: int) -> tuple:
         """(m0, m1) random-OT message pairs (this party is the sender)."""
