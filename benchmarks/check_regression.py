@@ -39,6 +39,7 @@ METRICS = {
     "preprocessing": lambda p: p["online_speedup_warm_vs_cold"],
     "truncation": lambda p: p["online_speedup_warm_vs_cold"]["pair"],
     "pipeline": lambda p: p["ttfo_speedup"],
+    "faults": lambda p: p["recovery_efficiency"],
 }
 
 #: What each metric means, for the failure message.
@@ -47,6 +48,7 @@ DESCRIPTIONS = {
     "preprocessing": "warm-pool vs cold online speedup",
     "truncation": "pair-mode warm vs cold online speedup",
     "pipeline": "time-to-first-layer-online, all-at-once vs pipelined",
+    "faults": "chaos recovery efficiency (clean e2e / faulted e2e)",
 }
 
 #: Absolute floors, enforced independently of the relative factor.  A
@@ -57,6 +59,12 @@ DESCRIPTIONS = {
 FLOORS = {
     "preprocessing": 1.2,
     "pipeline": 1.3,
+    # Recovery efficiency sits near 1.0 when redials heal in
+    # milliseconds; a resume path that limps through on retry-budget
+    # exhaustion collapses it by orders of magnitude.  The bench itself
+    # hangs (and fails CI) when recovery breaks outright, so the floor
+    # only needs to catch "recovers, but pathologically slowly".
+    "faults": 0.05,
 }
 
 

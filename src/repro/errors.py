@@ -31,3 +31,57 @@ class SimulationError(ReproError):
 
 class ServiceError(ReproError):
     """The correlation provisioning runtime failed or was shut down."""
+
+
+class WaitTimeout(ServiceError):
+    """A bounded runtime wait expired before its condition held.
+
+    ``what`` names the condition (pool level, produced range, plan
+    layer) so the failure points at the starved resource, not just at
+    "a timeout happened somewhere".
+    """
+
+    def __init__(self, message: str, what: str = ""):
+        super().__init__(message)
+        self.what = what
+
+
+class PoolTimeout(WaitTimeout):
+    """A pool wait (level / produced range / take) expired.
+
+    Carries the pool name and the awaited condition so callers -- and
+    test failures -- can tell *which* correlation kind starved.
+    """
+
+    def __init__(self, message: str, pool: str = "", what: str = ""):
+        super().__init__(message, what)
+        self.pool = pool
+
+
+class PoolClosed(ServiceError):
+    """A pool was closed (service shutdown) while a caller waited on it."""
+
+    def __init__(self, message: str, pool: str = ""):
+        super().__init__(message)
+        self.pool = pool
+
+
+class ServiceDegraded(ServiceError):
+    """Production is down (link lost past the retry deadline) but the
+    service still serves existing pool stock.
+
+    Raised instead of hanging when a caller needs *future* production
+    (a refill, a prefill target, an unproduced range).  ``hint``
+    suggests the recovery path; ``cause`` is the transport error that
+    degraded the service; ``since`` is ``time.monotonic()`` at entry.
+    """
+
+    def __init__(self, message: str, cause: Exception = None, since: float = None):
+        super().__init__(message)
+        self.cause = cause
+        self.since = since
+        self.hint = (
+            "existing pool stock can still be drawn; production resumes "
+            "automatically if the link recovers, or restart the service "
+            "pair to rebuild it"
+        )

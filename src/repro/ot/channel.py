@@ -223,7 +223,14 @@ class SocketChannel(Channel):
 
     # -- transport ----------------------------------------------------------
     def _fill(self, n: int, deadline: float) -> None:
-        """Grow the receive buffer to >= n bytes; buffer survives timeouts."""
+        """Grow the receive buffer to >= n bytes; buffer survives timeouts.
+
+        A peer that hangs up mid-frame raises :class:`ChannelClosed`
+        naming the partial byte count -- never a bare ``struct.error``
+        from a short header, and never an indefinite select loop (a
+        half-closed socket is readable, so ``recv`` returns ``b""``
+        immediately and the loop exits through the EOF branch).
+        """
         while len(self._rx) < n:
             try:
                 if deadline is not None:
@@ -236,9 +243,15 @@ class SocketChannel(Channel):
                         )
                 chunk = self._sock.recv(1 << 20)
             except (OSError, ValueError) as exc:  # reset, EBADF, closed fd
-                raise ChannelClosed(f"socket receive failed: {exc}") from exc
+                raise ChannelClosed(
+                    f"socket receive failed after {len(self._rx)} of {n} "
+                    f"frame bytes: {exc}"
+                ) from exc
             if not chunk:
-                raise ChannelClosed("peer closed the connection")
+                raise ChannelClosed(
+                    f"peer closed the connection mid-frame "
+                    f"({len(self._rx)} of {n} expected bytes buffered)"
+                )
             self._rx += chunk
 
     def send_bytes(self, data: bytes) -> None:
@@ -272,7 +285,13 @@ class SocketChannel(Channel):
 
 
 class SocketListener:
-    """A bound, listening TCP socket that accepts one SocketChannel."""
+    """A bound, listening TCP socket that accepts SocketChannels.
+
+    By default ``accept()`` closes the listening socket after the first
+    connection (the original one-shot rendezvous).  Reconnecting
+    servers pass ``keep_open=True`` so the same bound port keeps
+    accepting redials across session epochs.
+    """
 
     def __init__(self, srv: socket.socket, timeout: float):
         self._srv = srv
@@ -282,16 +301,24 @@ class SocketListener:
     def port(self) -> int:
         return self._srv.getsockname()[1]
 
-    def accept(self, accept_timeout: float = 30.0) -> SocketChannel:
-        self._srv.settimeout(accept_timeout)
+    def accept(
+        self, accept_timeout: float = 30.0, keep_open: bool = False
+    ) -> SocketChannel:
         try:
+            self._srv.settimeout(accept_timeout)
             conn, _ = self._srv.accept()
         except socket.timeout as exc:
             # Keep the listener open so the caller can retry accept().
             raise ChannelTimeout("no peer connected before the timeout") from exc
-        self._srv.close()
+        except OSError as exc:  # listener closed under a waiting accept
+            raise ChannelClosed(f"listener closed: {exc}") from exc
+        if not keep_open:
+            self._srv.close()
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return SocketChannel(conn, self._timeout)
+
+    def close(self) -> None:
+        self._srv.close()
 
 
 class PartyError(ChannelError):

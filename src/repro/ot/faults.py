@@ -1,0 +1,224 @@
+"""Deterministic fault injection for chaos-testing the runtime.
+
+A :class:`FaultyChannel` wraps any :class:`repro.ot.channel.Channel`
+and injects failures -- message delays, receive-timeout bursts,
+mid-stream disconnects, truncated frames -- at operation indices fixed
+by a seeded :class:`FaultSchedule`.  Every recovery path in the
+reconnect/retry stack is therefore testable in-process and in the
+chaos benchmark (``benchmarks/bench_faults.py``) with a reproducible
+schedule: same seed, same faults, same op indices.
+
+The injected errors are the *real* error types the transports raise
+(:class:`ChannelTimeout`, :class:`ChannelClosed`), so recovery code
+cannot special-case injection.  Disconnects additionally close the
+wrapped transport when it is closeable, so the peer observes a genuine
+half-close -- both endpoints exercise their reconnect paths, exactly
+as with a real wire fault.  Truncated frames need framing access and
+are therefore socket-specific: the injector writes a length header
+promising more bytes than it sends, then closes, so the peer's framing
+layer sees a mid-frame EOF (and must report the partial byte count,
+never a bare parse error).  On non-socket transports a truncation
+degrades to a disconnect.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ChannelClosed, ChannelTimeout, ParameterError
+from repro.ot.channel import Channel
+
+#: Fault kinds a schedule may carry.
+DELAY = "delay"
+TIMEOUT = "timeout"
+DISCONNECT = "disconnect"
+TRUNCATE = "truncate"
+
+_KINDS = (DELAY, TIMEOUT, DISCONNECT, TRUNCATE)
+#: Which operation each kind attaches to.
+_OP_FOR = {DELAY: "recv", TIMEOUT: "recv", DISCONNECT: "send", TRUNCATE: "send"}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: fire on the ``index``-th ``op`` call."""
+
+    op: str  # "send" | "recv"
+    index: int
+    kind: str
+    seconds: float = 0.0  # delay duration (DELAY only)
+
+    def __post_init__(self):
+        if self.op not in ("send", "recv"):
+            raise ParameterError(f"fault op must be send/recv, got {self.op!r}")
+        if self.kind not in _KINDS:
+            raise ParameterError(f"unknown fault kind {self.kind!r}")
+
+
+class FaultSchedule:
+    """A deterministic map from operation index to fault.
+
+    Operation counters live here (not in the channel) so one schedule
+    spans an endpoint's whole lifetime *across reconnects*: the dial
+    factory wraps every fresh transport in a new :class:`FaultyChannel`
+    sharing this schedule, and the op count keeps climbing.
+    """
+
+    def __init__(self, events=()):
+        self._events: dict = {}
+        for ev in events:
+            self._events.setdefault((ev.op, ev.index), ev)
+        self.counts = {"send": 0, "recv": 0}
+        self.injected: list = []  # FaultEvents actually fired, in order
+        self._lock = threading.Lock()
+
+    @property
+    def events(self) -> tuple:
+        return tuple(sorted(self._events.values(), key=lambda e: (e.op, e.index)))
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        disconnects: int = 1,
+        truncates: int = 1,
+        timeout_bursts: int = 1,
+        burst_len: int = 3,
+        delays: int = 2,
+        delay_s: float = 0.02,
+        window: tuple = (30, 400),
+    ) -> "FaultSchedule":
+        """The chaos-benchmark schedule: seeded positions for every
+        fault class inside ``window`` (an op-index range the workload
+        is known to cross mid-prefill).  Timeout bursts occupy
+        ``burst_len`` consecutive recv indices each."""
+        rng = np.random.default_rng(seed)
+        lo, hi = window
+        if hi - lo < 8:
+            raise ParameterError("chaos window too narrow for distinct events")
+
+        def picks(n, stride=1):
+            taken = rng.choice((hi - lo) // stride, size=n, replace=False)
+            return sorted(lo + int(v) * stride for v in taken)
+
+        events = []
+        for idx in picks(disconnects):
+            events.append(FaultEvent("send", idx, DISCONNECT))
+        for idx in picks(truncates):
+            events.append(FaultEvent("send", idx + 1, TRUNCATE))
+        for start in picks(timeout_bursts, stride=max(1, burst_len + 1)):
+            for j in range(burst_len):
+                events.append(FaultEvent("recv", start + j, TIMEOUT))
+        for idx in picks(delays):
+            events.append(FaultEvent("recv", idx, DELAY, seconds=delay_s))
+        return cls(events)
+
+    def draw(self, op: str):
+        """Advance the ``op`` counter; return the fault due now, if any."""
+        with self._lock:
+            index = self.counts[op]
+            self.counts[op] = index + 1
+            ev = self._events.pop((op, index), None)
+            if ev is not None:
+                self.injected.append(ev)
+            return ev
+
+    def remaining(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+@dataclass
+class FaultStats:
+    """What a FaultyChannel actually injected, by kind."""
+
+    delays: int = 0
+    timeouts: int = 0
+    disconnects: int = 0
+    truncates: int = 0
+    delayed_s: float = 0.0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class FaultyChannel(Channel):
+    """A transparent wrapper that injects the scheduled faults.
+
+    ``stats`` aliases the wrapped channel's, so accounting (and per-tag
+    mux attribution when this sits under a mux) is unchanged.  The
+    wrapper is transport-agnostic; only TRUNCATE needs the wrapped
+    channel to be a :class:`repro.ot.channel.SocketChannel` (it falls
+    back to a plain disconnect elsewhere).
+    """
+
+    def __init__(self, base: Channel, schedule: FaultSchedule):
+        self.base = base
+        self.schedule = schedule
+        self.stats = base.stats
+        self.fault_stats = FaultStats()
+
+    # -- fault actions -------------------------------------------------------
+    def _close_base(self) -> None:
+        close = getattr(self.base, "close", None)
+        if close is not None:
+            close()
+
+    def _disconnect(self, what: str) -> None:
+        self.fault_stats.disconnects += 1
+        self._close_base()
+        raise ChannelClosed(f"injected mid-stream disconnect (on {what})")
+
+    def _truncate(self, data: bytes) -> None:
+        sock = getattr(self.base, "_sock", None)
+        if sock is None:
+            self._disconnect("send (truncate fallback)")
+        self.fault_stats.truncates += 1
+        cut = max(0, len(data) // 2)
+        try:
+            # Promise the full frame, deliver half, hang up: the peer's
+            # framing layer must surface a mid-frame ChannelClosed.
+            sock.sendall(struct.pack("<Q", len(data)) + data[:cut])
+        except OSError:
+            pass
+        self._close_base()
+        raise ChannelClosed(f"injected truncated frame ({cut} of {len(data)} bytes sent)")
+
+    # -- channel interface ---------------------------------------------------
+    def send_bytes(self, data: bytes) -> None:
+        ev = self.schedule.draw("send")
+        if ev is not None:
+            if ev.kind == DISCONNECT:
+                self._disconnect("send")
+            elif ev.kind == TRUNCATE:
+                self._truncate(data)
+            elif ev.kind == DELAY:
+                self.fault_stats.delays += 1
+                self.fault_stats.delayed_s += ev.seconds
+                time.sleep(ev.seconds)
+        self.base.send_bytes(data)
+
+    def recv_bytes(self, timeout: float = None) -> bytes:
+        ev = self.schedule.draw("recv")
+        if ev is not None:
+            if ev.kind == TIMEOUT:
+                # Consumes nothing: a retried receive later still finds
+                # the peer's message, which is what makes timeout
+                # injection recoverable by construction.
+                self.fault_stats.timeouts += 1
+                raise ChannelTimeout("injected receive timeout")
+            if ev.kind == DISCONNECT:
+                self._disconnect("recv")
+            if ev.kind == DELAY:
+                self.fault_stats.delays += 1
+                self.fault_stats.delayed_s += ev.seconds
+                time.sleep(ev.seconds)
+        return self.base.recv_bytes(timeout=timeout)
+
+    def close(self) -> None:
+        self._close_base()

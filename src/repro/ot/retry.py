@@ -1,0 +1,135 @@
+"""Retry/backoff policy shared by the fault-tolerant transport layers.
+
+One :class:`RetryPolicy` parameterizes every "try again" loop in the
+runtime -- the :class:`repro.ot.reconnect.ReconnectingChannel` redial
+loop (capped exponential backoff + deterministic jitter) and the
+provisioning worker's sliced blocking receives
+(:class:`RetryingChannel`), which re-check liveness between attempts so
+a silent peer death fails fast instead of burning a full timeout.
+
+Jitter is drawn from a seeded generator so a given policy produces the
+same backoff sequence every run -- chaos tests stay reproducible.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ChannelTimeout
+from repro.ot.channel import Channel
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds for one class of retried operation.
+
+    ``attempts``/``backoff_s``/``backoff_factor``/``max_backoff_s``
+    shape the redial loop: up to ``attempts`` tries per outage, sleeping
+    an exponentially growing (capped) backoff between them.
+    ``deadline_s`` is the total budget for the whole retried operation
+    -- attempts stop once it is spent even if the attempt count is not.
+    ``attempt_timeout_s`` is the slice width for retried blocking
+    receives (how often liveness is re-checked while waiting).
+    ``jitter`` spreads each backoff by up to that fraction, seeded, so
+    two reconnecting endpoints do not redial in lockstep yet every run
+    replays the same schedule.
+    """
+
+    attempts: int = 8
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+    deadline_s: float = 30.0
+    attempt_timeout_s: float = 0.5
+    jitter: float = 0.25
+    seed: int = 0x5E77
+
+    def backoffs(self):
+        """Yield the jittered sleep before each retry (attempt 2, 3, ...)."""
+        rng = np.random.default_rng(self.seed)
+        delay = self.backoff_s
+        for _ in range(max(0, self.attempts - 1)):
+            spread = 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+            yield max(0.0, delay * spread)
+            delay = min(delay * self.backoff_factor, self.max_backoff_s)
+
+    def run(self, fn, retry_on: tuple, desc: str, on_retry=None):
+        """Call ``fn`` until it succeeds, an unlisted error escapes, or
+        the attempt/deadline budget is spent (re-raising the last
+        listed error).  ``on_retry(attempt, exc)`` observes each retry.
+        """
+        deadline = time.monotonic() + self.deadline_s
+        backoffs = self.backoffs()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except retry_on as exc:
+                pause = next(backoffs, None)
+                if pause is None or time.monotonic() + pause > deadline:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                time.sleep(pause)
+
+
+class RetryingChannel(Channel):
+    """Wraps a channel so blocking receives are sliced and probed.
+
+    Each ``recv_bytes`` waits in ``policy.attempt_timeout_s`` slices,
+    invoking ``probe()`` between slices -- the provisioning worker's
+    hook to notice a stop request, a dead mux pump, or a degraded link
+    *while* waiting, instead of after a full opaque timeout.  A recv
+    that exhausts its total budget raises :class:`ChannelTimeout`
+    annotated with the number of retried slices.
+
+    Sends pass straight through (they never block on the peer), and
+    ``stats`` aliases the wrapped channel's so per-tag mux attribution
+    is unchanged.
+    """
+
+    def __init__(self, base: Channel, policy: RetryPolicy, probe=None,
+                 default_timeout: float = None):
+        self.base = base
+        self.policy = policy
+        self.probe = probe
+        self.default_timeout = default_timeout
+        self.stats = base.stats
+        self.stalled_recvs = 0  # recvs that needed more than one slice
+        self.retry_slices = 0  # extra slices waited across all recvs
+        self._lock = threading.Lock()
+
+    def send_bytes(self, data: bytes) -> None:
+        self.base.send_bytes(data)
+
+    def recv_bytes(self, timeout: float = None) -> bytes:
+        total = timeout if timeout is not None else self.default_timeout
+        deadline = None if total is None else time.monotonic() + total
+        slices = 0
+        while True:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                raise ChannelTimeout(
+                    f"recv timed out after {slices} retried slices "
+                    f"({total:.1f}s total); is the peer still running?"
+                )
+            slice_s = self.policy.attempt_timeout_s
+            if remaining is not None:
+                slice_s = min(slice_s, remaining)
+            try:
+                data = self.base.recv_bytes(timeout=slice_s)
+            except ChannelTimeout:
+                slices += 1
+                with self._lock:
+                    self.retry_slices += 1
+                    if slices == 1:
+                        self.stalled_recvs += 1
+                if self.probe is not None:
+                    self.probe()
+                continue
+            return data

@@ -24,7 +24,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.errors import ParameterError, ServiceError
+from repro.errors import ParameterError, ServiceError, WaitTimeout
 from repro.mpc.compare import cots_needed, triples_needed
 from repro.mpc.matmul import MatmulDims, matmul_cots
 from repro.mpc.truncation import (
@@ -549,9 +549,10 @@ class PipelinedPrefill:
         while not self._ready[i].wait(0.05):
             self._check_failed()
             if time.monotonic() > deadline:
-                raise ServiceError(
+                raise WaitTimeout(
                     f"pipelined prefill: layer {i} "
-                    f"({self.plan.per_layer[i][0]}) not ready in time"
+                    f"({self.plan.per_layer[i][0]}) not ready in time",
+                    what=f"layer {i} ({self.plan.per_layer[i][0]})",
                 )
         self._check_failed()
 
@@ -581,7 +582,10 @@ class PipelinedPrefill:
             # Still producing: restoring now would be clobbered by the
             # thread's own per-layer watermark updates.  Leave state
             # untouched so a later finish() can complete the job.
-            raise ServiceError("pipelined prefill producer did not finish in time")
+            raise WaitTimeout(
+                "pipelined prefill producer did not finish in time",
+                what="producer join",
+            )
         if self._saved_cot_marks is not None:
             for kind, (low, high) in self._saved_cot_marks.items():
                 self.service.pools[kind].set_watermarks(low, high)

@@ -14,10 +14,18 @@ amortization argument assumes):
 * :mod:`repro.runtime.mux` -- tagged sub-channel multiplexing so the
   provisioning traffic and any number of consumer sessions share one
   duplex link (in-memory or a real socket).
+
+Fault tolerance rides below and through these layers: a
+:class:`repro.ot.reconnect.ReconnectingChannel` heals transport loss
+under the mux, the mux heartbeat detects silent peer death, and the
+service degrades (stock still drawable, typed
+:class:`repro.errors.ServiceDegraded` backpressure) when production is
+down past the retry budget.
 """
 
 from repro.runtime.mux import MuxChannel, SubChannel
 from repro.runtime.pool import (
+    DEFAULT_WAIT_TIMEOUT_S,
     CorrelationPool,
     MatrixTriplePool,
     PoolStats,
@@ -34,6 +42,7 @@ from repro.runtime.service import CorrelationService, ServiceSession, ServiceTun
 __all__ = [
     "CorrelationPool",
     "CorrelationService",
+    "DEFAULT_WAIT_TIMEOUT_S",
     "MatrixTriplePool",
     "MuxChannel",
     "PoolStats",

@@ -31,8 +31,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ServiceError
+from repro.errors import PoolClosed, PoolTimeout, ServiceError
 from repro.ot.cot import CotReceiverBatch, CotSenderBatch
+
+#: Ceiling for waits whose caller passed no explicit timeout.  Generous
+#: enough for paper-scale prefills, but bounded: no runtime wait may
+#: hang forever on a dead producer.
+DEFAULT_WAIT_TIMEOUT_S = 300.0
 
 
 @dataclass
@@ -100,6 +105,11 @@ class CorrelationPool:
         self._pending_done: dict = {}  # lo -> hi of out-of-order takes
         self._trim_chunk = trim_chunk
         self._closed = False
+        #: Optional liveness hook (set by the service): called on every
+        #: wait tick; raises a typed ServiceError when the producer died
+        #: or degraded, so blocked consumers fail fast with the cause
+        #: instead of burning their full timeout.
+        self.failure_probe = None
 
     # -- levels -------------------------------------------------------------
     @property
@@ -169,6 +179,38 @@ class CorrelationPool:
             self.stats.items_refilled += n
             self._cond.notify_all()
 
+    def rollback_to(self, produced: int) -> int:
+        """Discard production past absolute position ``produced``.
+
+        The reconnect resync path calls this after an interrupted
+        command may have completed on one party only: both sides roll
+        their pools back to the minimum of their produced counts so the
+        absolute-index streams are mirrored again.  Items a consumer
+        already took can never be rolled back -- that data has left the
+        pool -- so a target below the taken frontier raises loudly
+        (state is unrecoverable, not silently corrupt).  Returns the
+        number of items discarded.
+        """
+        with self._cond:
+            taken_hi = max(
+                [self._done_upto] + list(self._pending_done.values())
+            )
+            if produced < taken_hi:
+                raise ServiceError(
+                    f"pool {self.name}: cannot roll back to {produced}; items "
+                    f"up to {taken_hi} were already consumed"
+                )
+            if produced >= self._produced:
+                return 0
+            dropped = self._produced - produced
+            # The column buffers need no physical shrink: the next
+            # append overwrites from the new produced offset.
+            self._produced = produced
+            if self.needs_refill():
+                self.refill.set()
+            self._cond.notify_all()
+            return dropped
+
     # -- prefill / waiting --------------------------------------------------
     def raise_watermarks(self, low: int = None, high: int = None) -> None:
         """Raise (never lower) the refill watermarks; used by prefill.
@@ -225,19 +267,28 @@ class CorrelationPool:
                 self.refill.set()
 
     def _wait(self, pred, timeout: float, what: str) -> None:
-        deadline = None if timeout is None else time.monotonic() + timeout
+        if timeout is None:
+            timeout = DEFAULT_WAIT_TIMEOUT_S
+        deadline = time.monotonic() + timeout
         with self._cond:
             while not pred() and not self._closed:
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0:
-                    raise ServiceError(
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise PoolTimeout(
                         f"pool {self.name}: timed out waiting for {what} "
-                        f"(produced {self._produced}, reserved {self._reserved})"
+                        f"(produced {self._produced}, reserved {self._reserved})",
+                        pool=self.name,
+                        what=what,
                     )
+                if self.failure_probe is not None:
+                    self.failure_probe()
                 self.refill.set()
-                self._cond.wait(0.2 if remaining is None else min(remaining, 0.2))
+                self._cond.wait(min(remaining, 0.2))
             if not pred():
-                raise ServiceError(f"pool {self.name} closed while waiting for {what}")
+                raise PoolClosed(
+                    f"pool {self.name} closed while waiting for {what}",
+                    pool=self.name,
+                )
 
     def wait_level(self, target: int, timeout: float = None) -> None:
         """Block until ``level`` (produced ahead of reserved) >= target."""
@@ -295,24 +346,39 @@ class CorrelationPool:
             return lo
 
     def take_columns(self, lo: int, n: int, timeout: float = None) -> tuple:
-        """Block until ``[lo, lo+n)`` is produced, then return its columns."""
-        deadline = None if timeout is None else time.monotonic() + timeout
+        """Block until ``[lo, lo+n)`` is produced, then return its columns.
+
+        A take of an already-produced range never waits (and never
+        probes), so existing stock stays drawable after a close or while
+        the service is degraded -- only waits for *future* production
+        are subject to the liveness probe and the bounded timeout.
+        """
+        if timeout is None:
+            timeout = DEFAULT_WAIT_TIMEOUT_S
+        deadline = time.monotonic() + timeout
         start = time.monotonic()
         stalled = False
         with self._cond:
             while self._produced < lo + n and not self._closed:
                 stalled = True
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
                     self.stats.stall_time_s += time.monotonic() - start
-                    raise ServiceError(
+                    raise PoolTimeout(
                         f"pool {self.name}: timed out waiting for [{lo}, {lo + n}) "
-                        f"(produced {self._produced})"
+                        f"(produced {self._produced})",
+                        pool=self.name,
+                        what=f"[{lo}, {lo + n})",
                     )
+                if self.failure_probe is not None:
+                    self.failure_probe()
                 self.refill.set()
-                self._cond.wait(timeout=0.2 if remaining is None else min(remaining, 0.2))
+                self._cond.wait(timeout=min(remaining, 0.2))
             if self._produced < lo + n:  # closed before the range arrived
-                raise ServiceError(f"pool {self.name} closed while waiting")
+                raise PoolClosed(
+                    f"pool {self.name} closed while waiting for [{lo}, {lo + n})",
+                    pool=self.name,
+                )
             if lo < self._base:
                 raise ServiceError(
                     f"pool {self.name}: range [{lo}, {lo + n}) already trimmed"

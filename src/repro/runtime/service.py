@@ -34,20 +34,28 @@ negative pool level is exactly the demand signal the leader tops up.
 
 from __future__ import annotations
 
+import json
 import struct
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ChannelTimeout, ServiceError
+from repro.errors import (
+    ChannelClosed,
+    ChannelError,
+    ChannelTimeout,
+    ServiceDegraded,
+    ServiceError,
+)
 from repro.ferret.config import FerretConfig
 from repro.ferret.protocol import FerretReceiver, FerretSender
 from repro.mpc.matmul import MatmulDims, generate_matrix_triples
 from repro.mpc.triples import generate_bit_triples, generate_ring_triples
 from repro.mpc.truncation import generate_trunc_pairs
 from repro.ot.cot import CotPool
+from repro.ot.retry import RetryingChannel, RetryPolicy
 from repro.ot.ot_from_cot import (
     cot_to_random_ot_receiver,
     cot_to_random_ot_sender,
@@ -85,6 +93,20 @@ OP_TRUNC_PAIRS = b"TPRC"
 OP_ROT_FWD = b"ROT0"
 OP_ROT_REV = b"ROT1"
 OP_STOP = b"STOP"
+#: Resync frames (variable length: opcode + JSON payload).  SYNC is the
+#: leader's recovery barrier, SACK the follower's reply, NACK the
+#: follower's prompt "my command execution failed" signal.
+OP_SYNC = b"SYNC"
+OP_SYNC_ACK = b"SACK"
+OP_NACK = b"NACK"
+
+#: Transient transport faults the worker survives by degrading (and
+#: later resyncing) instead of dying.
+_TRANSIENT = (ChannelClosed, ChannelTimeout)
+
+
+class _StopRequested(Exception):
+    """Internal: a liveness probe noticed the stop flag mid-wait."""
 
 
 @dataclass
@@ -124,6 +146,15 @@ class ServiceTuning:
     enable_rots: bool = True
     poll_interval_s: float = 0.02
     take_timeout_s: float = 300.0
+    #: Retry/backoff bounds for the worker's blocking receives (sliced
+    #: waits that re-check liveness) and, when the transport stack
+    #: includes a ReconnectingChannel, its redial loop.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: How often a degraded worker attempts a resync barrier.
+    degraded_retry_s: float = 0.5
+    #: How many times a worker whose loop died on a transient transport
+    #: fault is restarted before the error becomes fatal.
+    max_worker_restarts: int = 1
 
 
 class CorrelationService:
@@ -157,12 +188,28 @@ class CorrelationService:
         self.config = config
         self.tuning = tuning or ServiceTuning()
         self._ctl = mux.sub("prov/ctl")
-        self._ch_fwd = mux.sub("prov/fwd")
-        self._ch_rev = mux.sub("prov/rev")
-        self._ch_tri = mux.sub("prov/tri")
-        self._ch_rtri = mux.sub("prov/rtri")
-        self._ch_mtri = mux.sub("prov/mtri")
-        self._ch_tprc = mux.sub("prov/tprc")
+        # Provisioning data channels wait in policy-sized slices with a
+        # liveness probe between slices, so a worker blocked mid-protocol
+        # notices a stop request or a dead pump in ~attempt_timeout_s
+        # instead of after the full (mux-default) receive timeout.
+        retry = self.tuning.retry
+
+        def _wrap(tag: str) -> RetryingChannel:
+            return RetryingChannel(
+                mux.sub(tag), retry,
+                probe=self._worker_probe, default_timeout=mux.timeout,
+            )
+
+        self._ch_fwd = _wrap("prov/fwd")
+        self._ch_rev = _wrap("prov/rev")
+        self._ch_tri = _wrap("prov/tri")
+        self._ch_rtri = _wrap("prov/rtri")
+        self._ch_mtri = _wrap("prov/mtri")
+        self._ch_tprc = _wrap("prov/tprc")
+        self._data_channels = (
+            self._ch_fwd, self._ch_rev, self._ch_tri,
+            self._ch_rtri, self._ch_mtri, self._ch_tprc,
+        )
         self._rng = np.random.default_rng(seed + 0x7000 + party)
 
         # Ferret endpoints: forward = party 0 sends, reverse = party 1.
@@ -238,6 +285,7 @@ class CorrelationService:
         self._wake = threading.Event()
         for pool in self.pools.values():
             pool.refill = self._wake
+            pool.failure_probe = self._pool_probe
 
         self._alloc_lock = threading.Lock()
         #: Leader-side per-kind totals of consumer (session) draws --
@@ -247,6 +295,20 @@ class CorrelationService:
         self._ready = threading.Event()
         self.error = None
         self.extends = {"fwd": 0, "rev": 0}
+        # Degraded-mode + recovery state (tentpole 3).
+        self.degraded_since = None  # time.monotonic() at entry, or None
+        self.degraded_cause = None
+        self.degraded_events = 0
+        self.worker_restarts = 0
+        self.resyncs = 0  # successful resync barriers
+        self.rolled_back = 0  # pool items discarded by resyncs
+        self._sync_nonce = 0
+        self._nack_sent = False
+        #: Last completed extend per direction: (endpoint snapshot taken
+        #: before the extend, pool produced count before its append).  A
+        #: resync that rolls a COT pool back to that count also restores
+        #: the endpoint, so the re-run extend starts from matching state.
+        self._last_extend = {"fwd": None, "rev": None}
         self._worker = threading.Thread(
             target=self._run, name=f"corr-service-p{party}", daemon=True
         )
@@ -280,12 +342,20 @@ class CorrelationService:
             if self._started:
                 self._worker.join(timeout)
         elif self._started:
-            # Give the leader's STOP a chance to arrive and drain the
-            # command stream cleanly; force the loop only as a fallback.
-            self._worker.join(timeout)
-            if self._worker.is_alive():
+            if self.degraded_since is not None or self.mux._pump_dead:
+                # The command stream is down: the leader's STOP can
+                # never arrive, so skip the grace join and force the
+                # loop out now.
                 self._stop.set()
                 self._worker.join(5.0)
+            else:
+                # Give the leader's STOP a chance to arrive and drain
+                # the command stream cleanly; force the loop only as a
+                # fallback.
+                self._worker.join(timeout)
+                if self._worker.is_alive():
+                    self._stop.set()
+                    self._worker.join(5.0)
         else:
             self._stop.set()
         self._raise_if_failed()
@@ -293,6 +363,79 @@ class CorrelationService:
     def _raise_if_failed(self) -> None:
         if self.error is not None:
             raise ServiceError(f"service worker failed: {self.error!r}") from self.error
+
+    # -- liveness / degraded mode -------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_since is not None
+
+    def _worker_probe(self) -> None:
+        """Between-slice liveness check for the worker's own receives."""
+        if self._stop.is_set():
+            raise _StopRequested("service stop requested")
+        self.mux._check_pump()
+
+    def _pool_probe(self) -> None:
+        """Per-tick liveness check for consumers blocked on a pool.
+
+        Only waits for *future* production reach this (already-produced
+        takes never wait), so raising here is exactly the ISSUE's
+        degraded-mode contract: stock still serves, but backpressure on
+        a dead producer surfaces as a typed error with recovery hints
+        instead of a hang.
+        """
+        if self.error is not None:
+            raise ServiceError(
+                f"service worker failed: {self.error!r}"
+            ) from self.error
+        if self.degraded_since is not None:
+            raise ServiceDegraded(
+                f"service is degraded (production down for "
+                f"{time.monotonic() - self.degraded_since:.1f}s: "
+                f"{self.degraded_cause!r}); this wait needs future production",
+                cause=self.degraded_cause,
+                since=self.degraded_since,
+            )
+
+    def _enter_degraded(self, exc: Exception) -> None:
+        if self.degraded_since is None:
+            self.degraded_since = time.monotonic()
+            self.degraded_cause = exc
+            self.degraded_events += 1
+
+    def _clear_degraded(self) -> None:
+        self.degraded_since = None
+        self.degraded_cause = None
+        self._nack_sent = False
+
+    def retry_stats(self) -> dict:
+        """Recovery accounting: retried receive slices, degraded spells,
+        resync barriers, and (when the transport stack reconnects)
+        redial/replay totals from the ReconnectingChannel underneath."""
+        out = {
+            "stalled_recvs": sum(c.stalled_recvs for c in self._data_channels),
+            "retry_slices": sum(c.retry_slices for c in self._data_channels),
+            "degraded_events": self.degraded_events,
+            "worker_restarts": self.worker_restarts,
+            "resyncs": self.resyncs,
+            "rolled_back": self.rolled_back,
+        }
+        base = getattr(self.mux, "base", None)
+        if base is not None and hasattr(base, "reconnect_events"):
+            out["reconnects"] = base.reconnects
+            out["replayed_frames"] = base.replayed_frames
+            out["replayed_bytes"] = base.replayed_bytes
+            out["reconnect_events"] = list(base.reconnect_events)
+        return out
+
+    def resume_state(self) -> dict:
+        """The JSON state this party contributes to a reconnect resume
+        handshake: per-tag mux receive counts plus per-pool absolute
+        stream positions (wire a ReconnectingChannel's
+        ``state_provider`` to this)."""
+        with self._alloc_lock:
+            pools = {kind: pool.produced for kind, pool in self.pools.items()}
+        return {"party": self.party, "tags": self.mux.receive_counts(), "pools": pools}
 
     # -- allocation (leader authority) --------------------------------------
     def reserve(self, kind: str, n: int) -> int:
@@ -319,6 +462,7 @@ class CorrelationService:
                     low_watermark=0, high_watermark=0,
                 )
                 pool.refill = self._wake
+                pool.failure_probe = self._pool_probe
                 self.pools[key] = pool
             return pool
 
@@ -338,6 +482,7 @@ class CorrelationService:
                     low_watermark=0, high_watermark=0,
                 )
                 pool.refill = self._wake
+                pool.failure_probe = self._pool_probe
                 self.pools[key] = pool
             return pool
 
@@ -457,7 +602,7 @@ class CorrelationService:
             self._ready.set()
             if self.party == 0:
                 try:
-                    self._leader_loop()
+                    self._run_loop(self._leader_loop)
                 finally:
                     # Always tell the follower to wind down -- even when
                     # the leader loop died on an exception -- so its
@@ -467,7 +612,9 @@ class CorrelationService:
                     except Exception:  # noqa: BLE001 - link may be gone
                         pass
             else:
-                self._follower_loop()
+                self._run_loop(self._follower_loop)
+        except _StopRequested:
+            pass  # a probe noticed stop() mid-wait: clean fast exit
         except BaseException as exc:  # noqa: BLE001 - crossing a thread
             self.error = exc
         finally:
@@ -475,15 +622,42 @@ class CorrelationService:
             for pool in self.pools.values():
                 pool.close()
 
+    def _run_loop(self, loop) -> None:
+        """Run the party loop, restarting it once after a transient
+        transport death (the restart-once contract: one more chance for
+        a healed link, then the error is fatal and surfaces)."""
+        while True:
+            try:
+                loop()
+                return
+            except _TRANSIENT as exc:
+                if self.worker_restarts >= self.tuning.max_worker_restarts:
+                    raise
+                self.worker_restarts += 1
+                self._enter_degraded(exc)
+
     def _leader_loop(self) -> None:
         while not self._stop.is_set():
+            self._check_peer_nack()
+            if self.degraded_since is not None:
+                if not self._leader_resync():
+                    self._stop.wait(self.tuning.degraded_retry_s)
+                    continue
             cmd = self._decide()
             if cmd is None:
                 self._wake.wait(self.tuning.poll_interval_s)
                 self._wake.clear()
                 continue
-            self._ctl.send_bytes(self._encode(cmd))
-            self._execute(cmd)
+            try:
+                self._ctl.send_bytes(self._encode(cmd))
+                self._execute(cmd)
+            except _TRANSIENT as exc:
+                # The command's retry budget (sliced receives over a
+                # self-healing transport) is spent: abandon it, serve
+                # stock only, and try to resync with the peer.  The
+                # command is NOT resent -- after the resync barrier the
+                # scheduler re-decides from the rolled-back pool state.
+                self._enter_degraded(exc)
 
     def _follower_loop(self) -> None:
         while True:
@@ -493,10 +667,218 @@ class CorrelationService:
                 if self._stop.is_set():
                     return
                 continue
-            cmd = self._decode(frame)
-            if cmd[0] == OP_STOP:
+            op = bytes(frame[:4])
+            if op == OP_STOP:
                 return
-            self._execute(cmd)
+            if op == OP_SYNC:
+                self._follower_resync(frame)
+                continue
+            if op in (OP_SYNC_ACK, OP_NACK):
+                continue  # stale resync chatter; barriers are leader-driven
+            cmd = self._decode(frame)
+            if self.degraded_since is not None:
+                # Commands issued before the leader noticed our failure:
+                # keep pool consumption aligned without running the
+                # (unservable) interactive protocol.
+                self._align_stale_command(cmd)
+                continue
+            try:
+                self._execute(cmd)
+            except _TRANSIENT as exc:
+                self._enter_degraded(exc)
+                self._send_nack(exc)
+
+    # -- resync barrier ------------------------------------------------------
+    def _check_peer_nack(self) -> None:
+        """Leader: drain ctl for a follower failure report (NACK)."""
+        for frame in self._ctl.drain():
+            if bytes(frame[:4]) == OP_NACK:
+                detail = frame[4:].decode(errors="replace")
+                self._enter_degraded(
+                    ChannelError(f"peer reported command failure: {detail}")
+                )
+
+    def _send_nack(self, exc: Exception) -> None:
+        """Follower: tell the leader promptly that execution failed, so
+        it stops issuing commands we can no longer serve."""
+        if self._nack_sent:
+            return
+        try:
+            self._ctl.send_bytes(OP_NACK + repr(exc).encode()[:512])
+            self._nack_sent = True
+        except ChannelError:
+            pass  # link fully down; the leader will notice by timeout
+
+    def _produced_counts(self) -> dict:
+        with self._alloc_lock:
+            return {kind: pool.produced for kind, pool in self.pools.items()}
+
+    def _leader_resync(self) -> bool:
+        """One resync attempt: barrier + mutual rollback.  True on success.
+
+        The leader publishes its per-pool produced counts; the follower
+        drains every provisioning data channel (FIFO ordering guarantees
+        all frames of the abandoned command precede the SYNC), replies
+        with its own counts, and both sides roll every pool back to the
+        elementwise minimum -- restoring the mirrored absolute-index
+        streams.  At most ONE command can have completed asymmetrically
+        (commands are sequential), so at most one pool moves.
+        """
+        self._sync_nonce += 1
+        payload = {"nonce": self._sync_nonce, "produced": self._produced_counts()}
+        try:
+            self._ctl.send_bytes(OP_SYNC + json.dumps(payload).encode())
+            deadline = time.monotonic() + self.tuning.retry.deadline_s
+            while True:
+                remaining = max(0.05, deadline - time.monotonic())
+                frame = self._ctl.recv_bytes(timeout=remaining)
+                op = bytes(frame[:4])
+                if op == OP_NACK:
+                    continue  # already degraded; the barrier supersedes it
+                if op != OP_SYNC_ACK:
+                    raise ChannelError(
+                        f"resync expected SACK, got {op!r}"
+                    )
+                reply = json.loads(frame[4:].decode())
+                if reply.get("nonce") == self._sync_nonce:
+                    break
+                # A stale ack from an earlier attempt: keep waiting.
+            # All follower frames from the abandoned command precede its
+            # SACK on the wire, so they are queued by now: drop them.
+            for ch in self._data_channels:
+                ch.base.drain()
+            self._rollback_pools(reply["produced"])
+        except _TRANSIENT:
+            return False
+        self.resyncs += 1
+        self._clear_degraded()
+        return True
+
+    def _follower_resync(self, frame: bytes) -> None:
+        """Answer a leader resync barrier (see :meth:`_leader_resync`)."""
+        payload = json.loads(frame[4:].decode())
+        # Every leader frame from the abandoned command precedes the
+        # SYNC on the wire, so the stray data frames are queued: drain
+        # them before acking, then roll back to the mutual minimum.
+        for ch in self._data_channels:
+            ch.base.drain()
+        mine = self._produced_counts()
+        try:
+            self._ctl.send_bytes(
+                OP_SYNC_ACK
+                + json.dumps({"nonce": payload["nonce"], "produced": mine}).encode()
+            )
+        except ChannelError as exc:
+            self._enter_degraded(exc)
+            return
+        self._rollback_pools(payload["produced"])
+        self.resyncs += 1
+        self._clear_degraded()
+
+    def _rollback_pools(self, peer_produced: dict) -> None:
+        """Roll every pool back to min(local, peer) produced counts.
+
+        A COT pool that moves also restores its Ferret endpoint to the
+        snapshot taken before the rolled-back extend, so the re-run
+        extend consumes matching LPN/SPCOT state on both parties.
+        """
+        with self._alloc_lock:
+            pools = dict(self.pools)
+        for kind, pool in pools.items():
+            target = min(pool.produced, int(peer_produced.get(kind, pool.produced)))
+            if target >= pool.produced:
+                continue
+            if kind in ("cot/fwd", "cot/rev"):
+                direction = "fwd" if kind == "cot/fwd" else "rev"
+                last = self._last_extend.get(direction)
+                if last is None or last[1] != target:
+                    raise ServiceError(
+                        f"resync: pool {kind} must roll back to {target} but "
+                        f"the last extend snapshot covers "
+                        f"{None if last is None else last[1]}; more than one "
+                        f"extend diverged -- state unrecoverable"
+                    )
+                self._ferret_restore(direction, last[0])
+            self.rolled_back += pool.rollback_to(target)
+
+    def _align_stale_command(self, cmd) -> None:
+        """Keep consumption aligned for commands issued before the
+        leader noticed our failure (we cannot run their interactive
+        protocol any more, but the leader consumed their inputs).
+
+        Local ROT conversions execute fully when their input range is
+        available -- identical output on both sides, pools stay level.
+        Interactive commands only have their pool *inputs* consumed
+        (the leader's execution of them timed out too, so neither side
+        appended output).  Inputs not yet produced locally are left to
+        the resync rollback, which erases the leader's view of them.
+        """
+        op = cmd[0]
+        takes = []  # (pool kind, lo, n)
+        if op in (OP_ROT_FWD, OP_ROT_REV):
+            direction = "fwd" if op == OP_ROT_FWD else "rev"
+            _, n, lo, _ = cmd
+            if self.pools[f"cot/{direction}"].produced >= lo + n:
+                self._produce_rots(direction, n, lo)
+            return
+        if op == OP_TRIPLES:
+            _, n, lo_f, lo_r = cmd
+            takes = [("cot/fwd", lo_f, n), ("cot/rev", lo_r, n)]
+        elif op == OP_RING_TRIPLES:
+            _, n, lo_f, lo_r = cmd
+            bits = self.tuning.ring_bits
+            takes = [("cot/fwd", lo_f, n * bits), ("cot/rev", lo_r, n * bits)]
+        elif op == OP_MATRIX_TRIPLE:
+            _, m, k, n, direction, lo = cmd
+            pool = self.matrix_pool(m, k, n)
+            takes = [("cot/rev" if direction else "cot/fwd", lo, pool.cots_per_item)]
+        elif op == OP_TRUNC_PAIRS:
+            _, n, frac, lo_c, lo_t = cmd
+            pool = self.trunc_pool(frac)
+            takes = [
+                ("cot/fwd", lo_c, n * pool.cots_per_item),
+                ("tri", lo_t, n * pool.triples_per_item),
+            ]
+        # Extends consume no pool inputs: nothing to align.
+        for kind, lo, n in takes:
+            if n > 0 and self.pools[kind].produced >= lo + n:
+                self.pools[kind].take_columns(lo, n)
+
+    # -- ferret endpoint snapshots -------------------------------------------
+    def _endpoint(self, direction: str):
+        return self.ferret_fwd if direction == "fwd" else self.ferret_rev
+
+    def _ferret_snapshot(self, direction: str) -> dict:
+        """Capture the mutable mid-stream state of one Ferret endpoint.
+
+        ``extend`` is compute-then-commit except for the endpoint's own
+        rng, the SPCOT base-COT cursor, and the LPN seed refs it swaps
+        at the end -- exactly the fields below.  Restoring them makes a
+        retried extend bit-compatible with the peer's fresh run.
+        """
+        ep = self._endpoint(direction)
+        return {
+            "rng_state": ep.rng.bit_generator.state,
+            "lpn_r": getattr(ep, "_lpn_r", None),
+            "lpn_e": getattr(ep, "_lpn_e", None),
+            "lpn_s": getattr(ep, "_lpn_s", None),
+            "spcot_pool": ep._spcot_pool,
+            "spcot_cursor": None if ep._spcot_pool is None else ep._spcot_pool._cursor,
+            "iterations": ep.iterations,
+        }
+
+    def _ferret_restore(self, direction: str, snap: dict) -> None:
+        ep = self._endpoint(direction)
+        ep.rng.bit_generator.state = snap["rng_state"]
+        if hasattr(ep, "_lpn_r"):
+            ep._lpn_r = snap["lpn_r"]
+        if hasattr(ep, "_lpn_e"):
+            ep._lpn_e = snap["lpn_e"]
+            ep._lpn_s = snap["lpn_s"]
+        ep._spcot_pool = snap["spcot_pool"]
+        if ep._spcot_pool is not None:
+            ep._spcot_pool._cursor = snap["spcot_cursor"]
+        ep.iterations = snap["iterations"]
 
     @staticmethod
     def _encode(cmd: tuple) -> bytes:
@@ -677,13 +1059,9 @@ class CorrelationService:
             return
         _, n, lo_a, lo_b = cmd
         if op == OP_EXTEND_FWD:
-            batch = self.ferret_fwd.extend(self._ch_fwd)
-            self.pools["cot/fwd"].append_batch(batch)
-            self.extends["fwd"] += 1
+            self._run_extend("fwd", self.ferret_fwd, self._ch_fwd)
         elif op == OP_EXTEND_REV:
-            batch = self.ferret_rev.extend(self._ch_rev)
-            self.pools["cot/rev"].append_batch(batch)
-            self.extends["rev"] += 1
+            self._run_extend("rev", self.ferret_rev, self._ch_rev)
         elif op == OP_TRIPLES:
             self._produce_triples(n, lo_a, lo_b)
         elif op == OP_RING_TRIPLES:
@@ -694,6 +1072,27 @@ class CorrelationService:
             self._produce_rots("rev", n, lo_a)
         else:
             raise ServiceError(f"unknown provisioning opcode {op!r}")
+
+    def _run_extend(self, direction: str, endpoint, channel) -> None:
+        """One extend, snapshot-protected for abandon/rollback.
+
+        Extend mutates endpoint state mid-protocol (rng draws, SPCOT
+        cursor, LPN seed swap), so a transient failure restores the
+        pre-extend snapshot before propagating -- and a *completed*
+        extend keeps its snapshot in ``_last_extend`` so a later resync
+        can undo it if the peer's half never finished.
+        """
+        pool = self.pools[f"cot/{direction}"]
+        snap = self._ferret_snapshot(direction)
+        produced_before = pool.produced
+        try:
+            batch = endpoint.extend(channel)
+        except _TRANSIENT:
+            self._ferret_restore(direction, snap)
+            raise
+        pool.append_batch(batch)
+        self._last_extend[direction] = (snap, produced_before)
+        self.extends[direction] += 1
 
     def _produce_triples(self, n: int, lo_fwd: int, lo_rev: int) -> None:
         """Both workers run one triple-generation batch in lockstep."""

@@ -10,6 +10,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+try:  # Hypothesis: explicit CI profile (no wall-clock deadline flakes)
+    from hypothesis import HealthCheck, settings
+
+    settings.register_profile(
+        "ci",
+        deadline=None,
+        max_examples=50,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    settings.load_profile("ci")
+except ImportError:  # pragma: no cover - fuzz suite skips without it
+    pass
+
 from repro.crypto import blocks
 from repro.ot.base_ot import base_cot_receive, base_cot_send
 from repro.ot.channel import run_pair

@@ -1,0 +1,146 @@
+"""Fault injection: seeded schedules and the FaultyChannel wrapper."""
+
+import socket
+
+import pytest
+
+from repro.errors import ChannelClosed, ChannelTimeout, ParameterError
+from repro.ot.channel import LocalChannel, SocketChannel
+from repro.ot.faults import (
+    DELAY,
+    DISCONNECT,
+    TIMEOUT,
+    TRUNCATE,
+    FaultEvent,
+    FaultSchedule,
+    FaultyChannel,
+)
+
+
+def faulty_local_pair(events_a=(), events_b=()):
+    a, b = LocalChannel.pair(timeout=2.0)
+    return (
+        FaultyChannel(a, FaultSchedule(events_a)),
+        FaultyChannel(b, FaultSchedule(events_b)),
+    )
+
+
+def test_fault_event_validation():
+    with pytest.raises(ParameterError):
+        FaultEvent("neither", 0, DELAY)
+    with pytest.raises(ParameterError):
+        FaultEvent("send", 0, "meteor-strike")
+
+
+def test_chaos_schedule_is_deterministic_and_complete():
+    s1 = FaultSchedule.chaos(seed=7)
+    s2 = FaultSchedule.chaos(seed=7)
+    assert s1.events == s2.events
+    kinds = [ev.kind for ev in s1.events]
+    assert DISCONNECT in kinds and TRUNCATE in kinds
+    assert kinds.count(TIMEOUT) == 3  # one burst of burst_len=3
+    assert kinds.count(DELAY) == 2
+    s3 = FaultSchedule.chaos(seed=8)
+    assert s3.events != s1.events
+
+
+def test_clean_schedule_passes_traffic_through():
+    a, b = faulty_local_pair()
+    a.send_bytes(b"ping")
+    assert b.recv_bytes() == b"ping"
+    b.send_bytes(b"pong")
+    assert a.recv_bytes() == b"pong"
+    assert a.stats.bytes_sent == 4  # stats alias the wrapped channel's
+    assert a.base.stats.bytes_sent == 4
+
+
+def test_timeout_injection_does_not_consume_the_message():
+    a, b = faulty_local_pair(events_b=[FaultEvent("recv", 0, TIMEOUT)])
+    a.send_bytes(b"survives")
+    with pytest.raises(ChannelTimeout, match="injected"):
+        b.recv_bytes()
+    # The retried receive still finds the peer's message.
+    assert b.recv_bytes() == b"survives"
+    assert b.fault_stats.timeouts == 1
+
+
+def test_delay_injection_delays_then_delivers():
+    a, b = faulty_local_pair(events_b=[FaultEvent("recv", 0, DELAY, seconds=0.01)])
+    a.send_bytes(b"slow")
+    assert b.recv_bytes() == b"slow"
+    assert b.fault_stats.delays == 1
+    assert b.fault_stats.delayed_s == pytest.approx(0.01)
+
+
+def test_disconnect_injection_on_send():
+    a, b = faulty_local_pair(events_a=[FaultEvent("send", 1, DISCONNECT)])
+    a.send_bytes(b"first ok")
+    with pytest.raises(ChannelClosed, match="injected"):
+        a.send_bytes(b"second dies")
+    assert a.fault_stats.disconnects == 1
+
+
+def test_disconnect_closes_a_socket_base_so_the_peer_sees_it():
+    sa, sb = SocketChannel.pair(timeout=2.0)
+    fa = FaultyChannel(sa, FaultSchedule([FaultEvent("send", 0, DISCONNECT)]))
+    with pytest.raises(ChannelClosed):
+        fa.send_bytes(b"never arrives")
+    with pytest.raises(ChannelClosed):
+        sb.recv_bytes(timeout=2.0)
+
+
+def test_truncate_injection_surfaces_partial_frame_at_the_peer():
+    sa, sb = SocketChannel.pair(timeout=2.0)
+    fa = FaultyChannel(sa, FaultSchedule([FaultEvent("send", 0, TRUNCATE)]))
+    with pytest.raises(ChannelClosed, match="truncated"):
+        fa.send_bytes(b"x" * 64)
+    # The peer's framing layer reports a mid-frame close with the
+    # partial byte count, never a bare struct.error.
+    with pytest.raises(ChannelClosed, match=r"mid-frame \(40 of 72"):
+        sb.recv_bytes(timeout=2.0)
+    assert fa.fault_stats.truncates == 1
+
+
+def test_truncate_degrades_to_disconnect_without_raw_socket_access():
+    a, b = faulty_local_pair(events_a=[FaultEvent("send", 0, TRUNCATE)])
+    with pytest.raises(ChannelClosed, match="disconnect"):
+        a.send_bytes(b"no raw socket here")
+    assert a.fault_stats.disconnects == 1
+
+
+def test_schedule_counters_span_reconnects():
+    """One schedule keeps counting ops across fresh channel wrappers --
+    the dial-factory contract that makes chaos runs reproducible."""
+    schedule = FaultSchedule([FaultEvent("send", 2, DISCONNECT)])
+    a1, b = LocalChannel.pair(timeout=2.0)
+    f1 = FaultyChannel(a1, schedule)
+    f1.send_bytes(b"0")
+    f1.send_bytes(b"1")
+    a2, _ = LocalChannel.pair(timeout=2.0)
+    f2 = FaultyChannel(a2, schedule)  # "redialed" wrapper, same schedule
+    with pytest.raises(ChannelClosed):
+        f2.send_bytes(b"2")
+    assert schedule.counts["send"] == 3
+    assert schedule.remaining() == 0
+    assert [ev.kind for ev in schedule.injected] == [DISCONNECT]
+
+
+def test_socketpair_truncate_uses_real_length_header():
+    """The injected wire bytes really are a lying length prefix."""
+    sa, sb = socket.socketpair()
+    ch_a = SocketChannel(sa, timeout=2.0)
+    fa = FaultyChannel(ch_a, FaultSchedule([FaultEvent("send", 0, TRUNCATE)]))
+    payload = b"y" * 100
+    with pytest.raises(ChannelClosed):
+        fa.send_bytes(payload)
+    got = b""
+    while True:
+        try:
+            chunk = sb.recv(4096)
+        except OSError:
+            break
+        if not chunk:
+            break
+        got += chunk
+    assert len(got) == 8 + 50  # header promising 100, body cut at 50
+    assert int.from_bytes(got[:8], "little") == 100

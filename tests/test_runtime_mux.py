@@ -261,3 +261,89 @@ class TestStatsAttribution:
         assert time.monotonic() - start < 5.0  # not the 30 s mux timeout
         m1.close()
         sb.close()
+
+
+class TestShutdownHardening:
+    def test_close_wakes_blocked_receiver_promptly(self):
+        """close() poisons inboxes BEFORE joining the pump, so a thread
+        parked in recv_bytes sees ChannelClosed immediately -- not after
+        the pump's next poll tick or its own full timeout."""
+        import time
+
+        from repro.errors import ChannelClosed
+
+        m0, m1 = mux_pair(timeout=60.0)
+        outcome = {}
+
+        def blocked():
+            start = time.monotonic()
+            try:
+                m1.sub("never").recv_bytes(timeout=30.0)
+            except ChannelClosed:
+                outcome["latency"] = time.monotonic() - start
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        time.sleep(0.2)  # let the receiver park in the inbox wait
+        m1.close()
+        t.join(5.0)
+        assert not t.is_alive(), "receiver did not wake on close()"
+        assert outcome["latency"] < 3.0
+        m0.close()
+
+    def test_close_wakes_every_blocked_receiver(self):
+        """The poison sentinel is re-seeded on consumption, so N threads
+        blocked on the same sub-channel all wake, not just the first."""
+        from repro.errors import ChannelClosed
+
+        m0, m1 = mux_pair(timeout=60.0)
+        woken = []
+        sub = m1.sub("crowded")
+
+        def blocked(i):
+            try:
+                sub.recv_bytes(timeout=30.0)
+            except ChannelClosed:
+                woken.append(i)
+
+        threads = [threading.Thread(target=blocked, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.2)
+        m1.close()
+        for t in threads:
+            t.join(5.0)
+        assert sorted(woken) == [0, 1, 2, 3]
+        m0.close()
+
+    def test_drain_discards_but_keeps_attribution(self):
+        m0, m1 = mux_pair()
+        for i in range(5):
+            m0.sub("d").send_bytes(bytes([i]) * 10)
+        sub = m1.sub("d")
+        # Wait until the pump routed everything, then drain.
+        import time
+
+        deadline = time.monotonic() + 5.0
+        while sub.rx_frames < 5 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        drained = sub.drain()
+        assert drained == [bytes([i]) * 10 for i in range(5)]
+        assert sub.drain() == []  # idempotent on empty
+        # Drained frames crossed the wire: attribution must include them.
+        assert sub.stats.bytes_received == m0.sub("d").stats.bytes_sent
+        m0.close(), m1.close()
+
+    def test_receive_counts_track_routed_frames(self):
+        m0, m1 = mux_pair()
+        m0.sub("x").send_bytes(b"1")
+        m0.sub("x").send_bytes(b"2")
+        m0.sub("y").send_bytes(b"3")
+        assert m1.sub("x").recv_bytes(timeout=5.0) == b"1"
+        assert m1.sub("x").recv_bytes(timeout=5.0) == b"2"
+        assert m1.sub("y").recv_bytes(timeout=5.0) == b"3"
+        counts = m1.receive_counts()
+        assert counts["x"] == 2 and counts["y"] == 1
+        m0.close(), m1.close()

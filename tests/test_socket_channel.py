@@ -163,6 +163,79 @@ class TestFraming:
         assert got == [big] * 3
         a.close(), b.close()
 
+    def test_half_close_mid_frame_reports_partial_byte_count(self):
+        """A peer that dies mid-frame must surface ChannelClosed naming
+        how far the frame got -- never a bare struct.error from a short
+        length header."""
+        import socket as socket_mod
+        import struct
+
+        sa, sb = socket_mod.socketpair()
+        chan = SocketChannel(sb, timeout=5.0)
+        payload = b"q" * 64
+        frame = struct.pack("<Q", len(payload)) + payload
+        sa.sendall(frame[:20])  # header + 12 payload bytes, then hang up
+        sa.close()
+        with pytest.raises(ChannelClosed, match=r"mid-frame \(20 of 72"):
+            chan.recv_bytes(timeout=2.0)
+        chan.close()
+
+    def test_half_close_inside_header_reports_partial_byte_count(self):
+        import socket as socket_mod
+
+        sa, sb = socket_mod.socketpair()
+        chan = SocketChannel(sb, timeout=5.0)
+        sa.sendall(b"\x05\x00\x00")  # 3 of the 8 header bytes
+        sa.close()
+        with pytest.raises(ChannelClosed, match=r"mid-frame \(3 of 8"):
+            chan.recv_bytes(timeout=2.0)
+        chan.close()
+
+
+class TestListener:
+    def test_accept_timeout_keeps_listener_usable(self):
+        listener = SocketChannel.listen()
+        with pytest.raises(ChannelTimeout, match="no peer connected"):
+            listener.accept(accept_timeout=0.1)
+        # The listener survived the timeout: a late dialer still lands.
+        out = {}
+
+        def dial():
+            out["c"] = SocketChannel.connect("127.0.0.1", listener.port, timeout=5.0)
+
+        t = threading.Thread(target=dial)
+        t.start()
+        server = listener.accept(accept_timeout=5.0, keep_open=True)
+        t.join(5.0)
+        out["c"].send_bytes(b"late but fine")
+        assert server.recv_bytes(timeout=5.0) == b"late but fine"
+        server.close(), out["c"].close(), listener.close()
+
+    def test_keep_open_listener_accepts_redials(self):
+        listener = SocketChannel.listen()
+        for i in range(3):
+            out = {}
+
+            def dial():
+                out["c"] = SocketChannel.connect(
+                    "127.0.0.1", listener.port, timeout=5.0
+                )
+
+            t = threading.Thread(target=dial)
+            t.start()
+            server = listener.accept(accept_timeout=5.0, keep_open=True)
+            t.join(5.0)
+            out["c"].send_bytes(f"epoch-{i}".encode())
+            assert server.recv_bytes(timeout=5.0) == f"epoch-{i}".encode()
+            server.close(), out["c"].close()
+        listener.close()
+
+    def test_closed_listener_raises_channel_closed_on_accept(self):
+        listener = SocketChannel.listen()
+        listener.close()
+        with pytest.raises(ChannelClosed, match="listener closed"):
+            listener.accept(accept_timeout=0.5)
+
 
 class TestProtocolsOverSocketpair:
     def test_base_cot_over_socketpair(self, rng):
