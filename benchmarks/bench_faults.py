@@ -42,7 +42,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from bench_io import add_json_out_arg, write_payload
+from bench_io import add_bench_args, write_payload, write_trace
 from bench_pipeline import (
     FIRST_BLOCK_LAYER,
     FX,
@@ -178,12 +178,18 @@ def chaos_schedules(window):
     return server, client
 
 
-def run_scenario(shape, chaos: bool, window) -> dict:
+def run_scenario(shape, chaos: bool, window, tracers=None) -> dict:
     svc0, svc1, mux0, mux1, rc0, rc1, server, client, listener = start_stack()
     try:
+        if tracers is not None:
+            # One call per party wires the service, its pools, the mux,
+            # and the reconnect layer underneath (redials/resync show up
+            # on the same timeline as prefill/online spans).
+            svc0.set_tracer(tracers[0])
+            svc1.set_tracer(tracers[1])
         plan = plan_graph(build_model(shape), bits=RING_BITS, fx=FX)
         shares, expect = make_shares(shape, np.random.default_rng(0xBA))
-        draws_before = dict(svc0.session_draws)
+        draws_before = svc0.session_draw_counts()
 
         if chaos:
             sched_server, sched_client = chaos_schedules(window)
@@ -211,7 +217,7 @@ def run_scenario(shape, chaos: bool, window) -> dict:
             "online inference wrong" + (" under faults" if chaos else "")
         )
         for kind, count in plan.pool_targets().items():
-            drawn = svc0.session_draws.get(kind, 0) - draws_before.get(kind, 0)
+            drawn = svc0.session_draw_counts().get(kind, 0) - draws_before.get(kind, 0)
             assert drawn == count, (
                 f"plan mismatch for {kind}: drew {drawn}, planned {count}"
             )
@@ -261,10 +267,12 @@ def run_scenario(shape, chaos: bool, window) -> dict:
     return row
 
 
-def run_all(shape, window) -> list:
+def run_all(shape, window, tracers=None) -> list:
+    # The chaos run is the one worth a timeline: redials, replay, and
+    # resync barriers interleaved with the prefill/online spans.
     return [
         run_scenario(shape, chaos=False, window=window),
-        run_scenario(shape, chaos=True, window=window),
+        run_scenario(shape, chaos=True, window=window, tracers=tracers),
     ]
 
 
@@ -343,21 +351,46 @@ def write_json(rows, shape, window, path: Path = JSON_PATH) -> None:
     print(f"wrote {path}")
 
 
+def check_trace(counts, rows) -> None:
+    """The timeline must make the chaos run legible: every redial, the
+    resync barrier riding the resume handshake, and the per-layer
+    prefill/online spans all identifiable by name."""
+    names = counts["span_names"]
+    chaos = rows[1]
+    assert names.get("redial.attempt", 0) >= chaos["reconnects"], (
+        f"trace shows {names.get('redial.attempt', 0)} redial attempts "
+        f"but the reconnect layer counted {chaos['reconnects']}"
+    )
+    assert names.get("resync.barrier", 0) >= chaos["reconnects"], (
+        f"every recovery replays through a resync barrier; trace has "
+        f"{names.get('resync.barrier', 0)} for {chaos['reconnects']} redials"
+    )
+    for span in ("prefill.layer", "online.layer", "reconnect.recover"):
+        assert names.get(span, 0) > 0, f"no {span} spans in the trace"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny MLP and a tighter fault window; does not touch the "
-        "committed JSON",
+    add_bench_args(
+        parser,
+        smoke_help="tiny MLP and a tighter fault window; does not touch "
+        "the committed JSON",
+        trace=True,
     )
-    add_json_out_arg(parser)
     args = parser.parse_args(argv)
     shape = SMOKE_SHAPE if args.smoke else SHAPE
     window = SMOKE_WINDOW if args.smoke else WINDOW
-    rows = run_all(shape, window)
+    tracers = None
+    if args.trace_out is not None:
+        from repro.obs import Tracer
+
+        tracers = [Tracer(party=0), Tracer(party=1)]
+    rows = run_all(shape, window, tracers=tracers)
     report(rows, shape)
     check(rows)
+    if args.trace_out is not None:
+        counts = write_trace(args.trace_out, tracers)
+        check_trace(counts, rows)
     if args.json_out is not None:
         write_payload(args.json_out, payload(rows, shape, window))
     if args.smoke:

@@ -37,7 +37,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from bench_io import add_json_out_arg, write_payload
+from bench_io import add_bench_args, write_payload, write_trace
 
 from repro.ferret.config import FerretConfig
 from repro.lpn.params import LpnParams
@@ -132,34 +132,47 @@ def online_block_fn(svc, party, shape, shares, pipe=None):
 
     def run():
         session = svc.session("pipe-mlp")
+        tr = svc.tracer  # NULL_TRACER unless a --trace-out run attached one
         rng = np.random.default_rng(90 + party)
         wait(BLOCK_WAITS[0])
-        h = matmul_rescale_via_service(
-            session, shares["x"][party], shares["w1"][party], FX,
-            mode="exact", rng=rng,
-        )
+        with tr.span("online.layer", cat="online", layer=BLOCK_WAITS[0], op="matmul"):
+            h = matmul_rescale_via_service(
+                session, shares["x"][party], shares["w1"][party], FX,
+                mode="exact", rng=rng,
+            )
         wait(BLOCK_WAITS[1])
-        r, _ = relu_via_service(session, ArithmeticShares(h.reshape(-1), RING_BITS), rng)
-        h = r.values.astype(np.uint64).reshape(m, h1)
+        with tr.span("online.layer", cat="online", layer=BLOCK_WAITS[1], op="relu"):
+            r, _ = relu_via_service(
+                session, ArithmeticShares(h.reshape(-1), RING_BITS), rng
+            )
+            h = r.values.astype(np.uint64).reshape(m, h1)
         wait(BLOCK_WAITS[2])
-        h = matmul_rescale_via_service(
-            session, h, shares["w2"][party], FX, mode="exact", rng=rng
-        )
+        with tr.span("online.layer", cat="online", layer=BLOCK_WAITS[2], op="matmul"):
+            h = matmul_rescale_via_service(
+                session, h, shares["w2"][party], FX, mode="exact", rng=rng
+            )
         wait(BLOCK_WAITS[3])
-        r, _ = relu_via_service(session, ArithmeticShares(h.reshape(-1), RING_BITS), rng)
-        h = r.values.astype(np.uint64).reshape(m, h2)
+        with tr.span("online.layer", cat="online", layer=BLOCK_WAITS[3], op="relu"):
+            r, _ = relu_via_service(
+                session, ArithmeticShares(h.reshape(-1), RING_BITS), rng
+            )
+            h = r.values.astype(np.uint64).reshape(m, h2)
         wait(BLOCK_WAITS[4])
-        return matmul_via_service(session, h, shares["w3"][party])
+        with tr.span("online.layer", cat="online", layer=BLOCK_WAITS[4], op="matmul"):
+            return matmul_via_service(session, h, shares["w3"][party])
 
     return run
 
 
-def run_scenario(shape, pipelined: bool) -> dict:
+def run_scenario(shape, pipelined: bool, tracers=None) -> dict:
     """One fresh service pair; returns TTFO / end-to-end timings."""
     svc0, svc1, mux0, mux1 = start_services()
+    if tracers is not None:
+        svc0.set_tracer(tracers[0])
+        svc1.set_tracer(tracers[1])
     plan = plan_graph(build_model(shape), bits=RING_BITS, fx=FX)
     shares, expect = make_shares(shape, np.random.default_rng(0xBA))
-    draws_before = dict(svc0.session_draws)
+    draws_before = svc0.session_draw_counts()
     stall_before = {k: s["stalled_draws"] for k, s in svc0.pool_stats().items()}
 
     t0 = time.perf_counter()
@@ -194,7 +207,7 @@ def run_scenario(shape, pipelined: bool) -> dict:
     # additionally never stalled a planned pool (zero production waits
     # after the first layer's gate).
     for kind, count in plan.pool_targets().items():
-        drawn = svc0.session_draws.get(kind, 0) - draws_before.get(kind, 0)
+        drawn = svc0.session_draw_counts().get(kind, 0) - draws_before.get(kind, 0)
         assert drawn == count, f"plan mismatch for {kind}: drew {drawn}, planned {count}"
     stall_after = {k: s["stalled_draws"] for k, s in svc0.pool_stats().items()}
     stalls = sum(
@@ -221,8 +234,13 @@ def plan_layers(plan) -> int:
     return len(plan.per_layer)
 
 
-def run_all(shape) -> list:
-    return [run_scenario(shape, pipelined=False), run_scenario(shape, pipelined=True)]
+def run_all(shape, tracers=None) -> list:
+    # Tracers (when recording a timeline) attach to the pipelined scenario
+    # only -- that is the run whose prefill/online overlap the trace shows.
+    return [
+        run_scenario(shape, pipelined=False),
+        run_scenario(shape, pipelined=True, tracers=tracers),
+    ]
 
 
 def report(rows, shape) -> None:
@@ -303,17 +321,23 @@ def test_bench_pipeline(benchmark, once):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny MLP that skips the perf assertion and does not touch "
-        "the committed JSON",
+    add_bench_args(
+        parser,
+        smoke_help="tiny MLP that skips the perf assertion and does not "
+        "touch the committed JSON",
+        trace=True,
     )
-    add_json_out_arg(parser)
     args = parser.parse_args(argv)
     shape = SMOKE_SHAPE if args.smoke else SHAPE
-    rows = run_all(shape)
+    tracers = None
+    if args.trace_out is not None:
+        from repro.obs import Tracer
+
+        tracers = [Tracer(party=0), Tracer(party=1)]
+    rows = run_all(shape, tracers=tracers)
     report(rows, shape)
+    if args.trace_out is not None:
+        write_trace(args.trace_out, tracers)
     if args.json_out is not None:
         write_payload(args.json_out, payload(rows, shape))
     if args.smoke:

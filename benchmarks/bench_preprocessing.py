@@ -32,7 +32,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from bench_io import add_json_out_arg, write_payload
+from bench_io import add_bench_args, write_payload
 
 from repro.ferret.config import FerretConfig
 from repro.lpn.params import LpnParams
@@ -133,7 +133,7 @@ def run_scenario(shape, warm: bool) -> dict:
             timeout=600.0,
         )
         preprocessing_s = time.perf_counter() - t0
-    draws_before = dict(svc0.session_draws)
+    draws_before = svc0.session_draw_counts()
 
     t1 = time.perf_counter()
     z0, z1 = run_concurrently(
@@ -146,7 +146,7 @@ def run_scenario(shape, warm: bool) -> dict:
 
     # The planner's demand must match the online draws exactly.
     for kind, count in plan.pool_targets().items():
-        drawn = svc0.session_draws.get(kind, 0) - draws_before.get(kind, 0)
+        drawn = svc0.session_draw_counts().get(kind, 0) - draws_before.get(kind, 0)
         assert drawn == count, f"plan mismatch for {kind}: drew {drawn}, planned {count}"
 
     stats = svc0.pool_stats()
@@ -230,13 +230,11 @@ def test_bench_preprocessing(benchmark, once):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny MLP that skips the perf assertion and does not touch "
-        "the committed JSON",
+    add_bench_args(
+        parser,
+        smoke_help="tiny MLP that skips the perf assertion and does not "
+        "touch the committed JSON",
     )
-    add_json_out_arg(parser)
     args = parser.parse_args(argv)
     shape = SMOKE_SHAPE if args.smoke else SHAPE
     rows = run_all(shape)

@@ -29,7 +29,7 @@ import threading
 import time
 from pathlib import Path
 
-from bench_io import add_json_out_arg, write_payload
+from bench_io import add_bench_args, write_payload
 
 from repro.ferret.config import FerretConfig
 from repro.lpn.params import LpnParams
@@ -210,13 +210,11 @@ def test_bench_runtime_service(benchmark, once):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny run (1 and 4 sessions, small draws) that skips the "
-        "perf assertion and does not touch the committed JSON",
+    add_bench_args(
+        parser,
+        smoke_help="tiny run (1 and 4 sessions, small draws) that skips "
+        "the perf assertion and does not touch the committed JSON",
     )
-    add_json_out_arg(parser)
     args = parser.parse_args(argv)
     if args.smoke:
         rows = run_all((1, 4), 600, 200)

@@ -36,7 +36,7 @@ import time
 from pathlib import Path
 
 import numpy as np
-from bench_io import add_json_out_arg, write_payload
+from bench_io import add_bench_args, write_payload
 
 from repro.ferret.config import FerretConfig
 from repro.lpn.params import LpnParams
@@ -240,13 +240,11 @@ def test_bench_truncation(benchmark, once):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="tiny element counts; skips the perf assertion and does not "
-        "touch the committed JSON",
+    add_bench_args(
+        parser,
+        smoke_help="tiny element counts; skips the perf assertion and "
+        "does not touch the committed JSON",
     )
-    add_json_out_arg(parser)
     args = parser.parse_args(argv)
     counts = SMOKE_ELEMENTS if args.smoke else N_ELEMENTS
     rows = run_all(counts)

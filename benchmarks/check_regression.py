@@ -40,6 +40,7 @@ METRICS = {
     "truncation": lambda p: p["online_speedup_warm_vs_cold"]["pair"],
     "pipeline": lambda p: p["ttfo_speedup"],
     "faults": lambda p: p["recovery_efficiency"],
+    "obs": lambda p: p["instrumentation_overhead"],
 }
 
 #: What each metric means, for the failure message.
@@ -49,6 +50,17 @@ DESCRIPTIONS = {
     "truncation": "pair-mode warm vs cold online speedup",
     "pipeline": "time-to-first-layer-online, all-at-once vs pipelined",
     "faults": "chaos recovery efficiency (clean e2e / faulted e2e)",
+    "obs": "enabled-instrumentation overhead (traced / untraced online)",
+}
+
+#: Ceiling metrics: *lower* is better, and the committed baseline value
+#: is a fixed contract rather than a measurement -- the gate fails when
+#: the smoke value exceeds it.  The relative-factor and floor logic
+#: (built for higher-is-better warm-path ratios) does not apply.
+CEILINGS = {
+    # The flight recorder's promise: enabling spans + metrics on a live
+    # service costs under 5% of warm online time.
+    "obs": 1.05,
 }
 
 #: Absolute floors, enforced independently of the relative factor.  A
@@ -86,6 +98,10 @@ def load_smoke(smoke_dir: Path) -> dict:
 
 
 def update_baseline(metrics: dict, path: Path) -> None:
+    # Ceiling metrics stay pinned at their contract value: refreshing
+    # the baseline after a perf change must not quietly loosen (or
+    # tighten, on a lucky run) the instrumentation-overhead gate.
+    metrics = {**metrics, **CEILINGS}
     payload = {
         "bench": "smoke_baseline",
         "note": (
@@ -103,6 +119,18 @@ def check(metrics: dict, baseline: dict, factor: float) -> list:
     failures = []
     for name, value in sorted(metrics.items()):
         base = baseline.get(name)
+        if name in CEILINGS:
+            ceiling = base if base is not None else CEILINGS[name]
+            status = "ok"
+            if value > ceiling:
+                status = "REGRESSED"
+                failures.append(
+                    f"{name}: {DESCRIPTIONS[name]} rose to {value:.3f}x, "
+                    f"above the ceiling {ceiling:.2f}x -- did an "
+                    "instrumentation site lose its tracer.enabled guard?"
+                )
+            print(f"  {name:16s} {value:8.2f}x  ceiling  {ceiling:7.2f}x  {status}")
+            continue
         floor = FLOORS.get(name, 0.0)
         status = "ok"
         if value < floor:

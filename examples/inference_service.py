@@ -170,7 +170,7 @@ def main():
         title=f"preprocessing plan: {plan.model} (fixed point {FX.bits}.{FX.frac_bits})",
     )
     stall_before = {k: s["stalled_draws"] for k, s in svc0.pool_stats().items()}
-    draws_before = dict(svc0.session_draws)
+    draws_before = svc0.session_draw_counts()
 
     # Pipelined mode: production is scheduled layer by layer and the
     # online phase below starts as soon as layer 0's demand is pooled.
@@ -213,7 +213,7 @@ def main():
     # phase gated on wait_layer no planned pool ever stalled -- layer
     # 0's production is the only thing the first draw waited for.
     for kind, count in plan.pool_targets().items():
-        drawn = svc0.session_draws.get(kind, 0) - draws_before.get(kind, 0)
+        drawn = svc0.session_draw_counts().get(kind, 0) - draws_before.get(kind, 0)
         assert drawn == count, f"{kind}: drew {drawn}, planned {count}"
     stall_after = {k: s["stalled_draws"] for k, s in svc0.pool_stats().items()}
     for kind in plan.pool_targets():

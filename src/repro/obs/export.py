@@ -1,0 +1,162 @@
+"""Chrome-trace / Perfetto JSON export for :class:`repro.obs.trace.Tracer`.
+
+Produces the JSON Object Format the Chrome tracing docs specify and
+Perfetto (https://ui.perfetto.dev) opens directly::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms"}
+
+Mapping: each tracer's ``party`` becomes the ``pid`` (process lane),
+each recording thread a ``tid`` (remapped to small ints in first-seen
+order), and ``process_name`` / ``thread_name`` metadata events label
+the lanes.  Timestamps are normalized to microseconds relative to the
+earliest event across *all* tracers, so a merged two-party export lines
+up on one timeline (the tracers must share a clock domain -- the
+default ``time.perf_counter`` does within one process).
+
+Events are stably sorted by timestamp; because B events are recorded
+before their E, stable sort keeps every span's begin ahead of its end
+at equal timestamps, which :func:`validate_chrome_trace` asserts.
+Retroactive spans ride as single ``X`` (complete) events with a ``dur``
+field, exempt from B/E nesting by construction.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def chrome_trace(tracers) -> dict:
+    """Merge one or more tracers into a Chrome-trace JSON document."""
+    if not isinstance(tracers, (list, tuple)):
+        tracers = [tracers]
+
+    t0 = None
+    for tr in tracers:
+        for ev in tr.events:
+            if t0 is None or ev["ts"] < t0:
+                t0 = ev["ts"]
+    if t0 is None:
+        t0 = 0.0
+
+    events = []
+    for tr in tracers:
+        pid = tr.party if tr.party is not None else 0
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"party {pid}"},
+            }
+        )
+        # Remap raw thread idents to small ints, first-seen order.
+        tids: dict = {}
+        for ident, thread_name in tr.thread_names.items():
+            tid = tids.setdefault(ident, len(tids))
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread_name},
+                }
+            )
+        for ev in tr.events:
+            out = {
+                "name": ev["name"],
+                "cat": ev["cat"] or "runtime",
+                "ph": ev["ph"],
+                "ts": (ev["ts"] - t0) * 1e6,
+                "pid": pid,
+                "tid": tids.setdefault(ev["tid"], len(tids)),
+            }
+            if ev["ph"] == "i":
+                out["s"] = "t"  # instant scope: thread
+            elif ev["ph"] == "X":
+                out["dur"] = ev["dur"] * 1e6
+            if ev["args"]:
+                out["args"] = dict(ev["args"])
+            events.append(out)
+
+    meta = [ev for ev in events if ev["ph"] == "M"]
+    rest = [ev for ev in events if ev["ph"] != "M"]
+    rest.sort(key=lambda ev: ev["ts"])  # stable: B stays ahead of E at ties
+    return {"traceEvents": meta + rest, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracers) -> dict:
+    """Export ``tracers`` to ``path`` as Chrome-trace JSON; returns the doc."""
+    doc = chrome_trace(tracers)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, default=str)
+    return doc
+
+
+def validate_chrome_trace(doc) -> dict:
+    """Check a Chrome-trace document's structural invariants.
+
+    Raises :class:`ValueError` on the first violation: missing keys,
+    unknown phase, non-monotonic timestamps, or unmatched B/E nesting
+    per (pid, tid) lane.  Returns summary counts (``events``, ``spans``,
+    ``instants``, ``counters``, and per-name span counts under
+    ``span_names``) so callers can assert on content too.
+    """
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError("not a Chrome-trace document: missing traceEvents")
+    events = doc["traceEvents"]
+    known_ph = {"B", "E", "X", "i", "C", "M"}
+    stacks: dict = {}
+    span_names: dict = {}
+    counts = {"events": 0, "spans": 0, "instants": 0, "counters": 0}
+    last_ts = None
+    for n, ev in enumerate(events):
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                raise ValueError(f"event {n}: missing {key!r}: {ev!r}")
+        ph = ev["ph"]
+        if ph not in known_ph:
+            raise ValueError(f"event {n}: unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        counts["events"] += 1
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event {n}: bad ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(f"event {n}: ts {ts} < previous {last_ts} (unsorted)")
+        last_ts = ts
+        lane = (ev["pid"], ev["tid"])
+        if ph == "B":
+            stacks.setdefault(lane, []).append(ev["name"])
+        elif ph == "E":
+            stack = stacks.get(lane)
+            if not stack:
+                raise ValueError(f"event {n}: E {ev['name']!r} with no open B on {lane}")
+            opened = stack.pop()
+            if ev["name"] and ev["name"] != opened:
+                raise ValueError(
+                    f"event {n}: E {ev['name']!r} closes B {opened!r} on {lane}"
+                )
+            counts["spans"] += 1
+            span_names[opened] = span_names.get(opened, 0) + 1
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {n}: X {ev['name']!r} with bad dur {dur!r}")
+            counts["spans"] += 1
+            span_names[ev["name"]] = span_names.get(ev["name"], 0) + 1
+        elif ph == "i":
+            counts["instants"] += 1
+        elif ph == "C":
+            counts["counters"] += 1
+    for lane, stack in stacks.items():
+        if stack:
+            raise ValueError(f"lane {lane}: unclosed spans {stack!r}")
+    # Instants share the name table so report/assert code sees them too.
+    for ev in events:
+        if ev["ph"] == "i":
+            span_names[ev["name"]] = span_names.get(ev["name"], 0) + 1
+    counts["span_names"] = span_names
+    return counts

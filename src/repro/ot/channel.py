@@ -60,6 +60,14 @@ class ChannelStats:
     def total_bytes(self) -> int:
         return self.bytes_sent + self.bytes_received
 
+    def as_dict(self) -> dict:
+        return {
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "messages_sent": self.messages_sent,
+            "rounds": self.rounds,
+        }
+
 
 class Channel:
     """Abstract duplex byte channel with accounting helpers."""

@@ -45,6 +45,7 @@ import time
 from collections import OrderedDict
 
 from repro.errors import ChannelClosed, ChannelError, ChannelTimeout
+from repro.obs.trace import NULL_TRACER
 from repro.ot.channel import Channel
 from repro.ot.retry import RetryPolicy
 
@@ -119,8 +120,14 @@ class ReconnectingChannel(Channel):
         self.replayed_bytes = 0
         self.reconnect_events: list = []  # dicts: epoch, outage_s, replayed
         self.peer_state: dict = {}
+        self.tracer = NULL_TRACER
 
         self._connect(initial=True)
+
+    @property
+    def journal_depth(self) -> int:
+        """Unacked data frames currently buffered for replay."""
+        return len(self._journal)
 
     # -- connection management ----------------------------------------------
     def _mark_dead(self, transport) -> None:
@@ -141,8 +148,15 @@ class ReconnectingChannel(Channel):
         """
         started = time.monotonic()
         replay_before = self.replayed_frames
+        attempts = [0]
 
         def attempt():
+            attempts[0] += 1
+            if not initial and self.tracer.enabled:
+                self.tracer.instant(
+                    "redial.attempt", cat="reconnect",
+                    attempt=attempts[0], epoch=self.epoch,
+                )
             transport = self._dial()
             try:
                 peer_rx = self._handshake(transport)
@@ -178,13 +192,33 @@ class ReconnectingChannel(Channel):
         self.epoch += 1
         if not initial:
             self.reconnects += 1
+            replayed = self.replayed_frames - replay_before
             self.reconnect_events.append(
                 {
                     "epoch": self.epoch,
                     "outage_s": time.monotonic() - started,
-                    "replayed": self.replayed_frames - replay_before,
+                    "replayed": replayed,
                 }
             )
+            tr = self.tracer
+            if tr.enabled:
+                # The resume handshake IS the transport-level resync
+                # barrier: both sides agree on next-expected sequence
+                # numbers before any new frame flows.
+                tr.instant(
+                    "resync.barrier", cat="reconnect",
+                    epoch=self.epoch, replayed=replayed,
+                )
+                end = tr.now()
+                tr.complete(
+                    "reconnect.recover",
+                    end - (time.monotonic() - started),
+                    end,
+                    cat="reconnect",
+                    epoch=self.epoch,
+                    attempts=attempts[0],
+                    replayed=replayed,
+                )
 
     def _handshake(self, transport: Channel) -> int:
         """Exchange HELLO frames; return the peer's next-expected seq."""
@@ -314,6 +348,11 @@ class ReconnectingChannel(Channel):
                     self.peer_state = json.loads(frame[17:].decode())
                 with self._send_lock:
                     self._replay_from(transport, peer_rx)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "resync.barrier", cat="reconnect",
+                        epoch=self.epoch, in_place=1,
+                    )
                 continue
             if kind != _DATA or len(frame) < 9:
                 raise ChannelError(

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ChannelTimeout
+from repro.obs.trace import NULL_TRACER
 from repro.ot.channel import Channel
 
 
@@ -103,6 +104,7 @@ class RetryingChannel(Channel):
         self.stalled_recvs = 0  # recvs that needed more than one slice
         self.retry_slices = 0  # extra slices waited across all recvs
         self._lock = threading.Lock()
+        self.tracer = NULL_TRACER
 
     def send_bytes(self, data: bytes) -> None:
         self.base.send_bytes(data)
@@ -129,6 +131,11 @@ class RetryingChannel(Channel):
                     self.retry_slices += 1
                     if slices == 1:
                         self.stalled_recvs += 1
+                        if self.tracer.enabled:
+                            tag = getattr(self.base, "tag", "?")
+                            self.tracer.instant(
+                                "recv.stall", cat="retry", tag=tag
+                            )
                 if self.probe is not None:
                     self.probe()
                 continue

@@ -440,7 +440,7 @@ class PipelinedPrefill:
         self._t0 = time.monotonic()
         self._ready_elapsed = [None] * self.n_layers
         self._channel = service.mux.sub(tag or f"pipe/{plan.model}")
-        self._draws_baseline = dict(service.session_draws)
+        self._draws_baseline = service.session_draw_counts()
         self._saved_cot_marks = None
         self._finished = False
         if service.party == 0:
@@ -481,35 +481,44 @@ class PipelinedPrefill:
                 )
             for i in range(self.n_layers):
                 deadline = time.monotonic() + self.timeout
-                if svc.party == 0:
-                    # Raw COT stock first: before this layer's derived
-                    # production may reserve raw COTs internally, the
-                    # level must cover (a) every already-ready layer's
-                    # consumer demand not yet drawn -- so the overlapped
-                    # online phase keeps finding produced ranges -- plus
-                    # (b) this layer's internal reserves.  The watermark
-                    # is re-set (possibly LOWERED) each layer from the
-                    # live draw counters, so extends track the plan
-                    # just-in-time instead of front-loading the total.
-                    for kind, level in self._cot_levels(i).items():
+                with svc.tracer.span(
+                    "prefill.layer", cat="prefill",
+                    layer=i, op=self.plan.per_layer[i][0],
+                ):
+                    if svc.party == 0:
+                        # Raw COT stock first: before this layer's derived
+                        # production may reserve raw COTs internally, the
+                        # level must cover (a) every already-ready layer's
+                        # consumer demand not yet drawn -- so the overlapped
+                        # online phase keeps finding produced ranges -- plus
+                        # (b) this layer's internal reserves.  The watermark
+                        # is re-set (possibly LOWERED) each layer from the
+                        # live draw counters, so extends track the plan
+                        # just-in-time instead of front-loading the total.
+                        for kind, level in self._cot_levels(i).items():
+                            svc._raise_if_failed()
+                            pool = svc.pools[kind]
+                            low = max(level, self._saved_cot_marks[kind][0])
+                            pool.set_watermarks(low, low)
+                            pool.wait_level(low, deadline - time.monotonic())
+                    targets = {
+                        kind: baseline[kind] + count
+                        for kind, count in self._cum_derived[i].items()
+                    }
+                    if svc.party == 0:
+                        svc.raise_produce_targets(targets)
+                    for kind, target in targets.items():
                         svc._raise_if_failed()
-                        pool = svc.pools[kind]
-                        low = max(level, self._saved_cot_marks[kind][0])
-                        pool.set_watermarks(low, low)
-                        pool.wait_level(low, deadline - time.monotonic())
-                targets = {
-                    kind: baseline[kind] + count
-                    for kind, count in self._cum_derived[i].items()
-                }
-                if svc.party == 0:
-                    svc.raise_produce_targets(targets)
-                for kind, target in targets.items():
-                    svc._raise_if_failed()
-                    svc.pools[kind].wait_produced(
-                        target, deadline - time.monotonic()
+                        svc.pools[kind].wait_produced(
+                            target, deadline - time.monotonic()
+                        )
+                    self._ready_elapsed[i] = time.monotonic() - self._t0
+                    self._ready[i].set()
+                if svc.tracer.enabled:
+                    svc.tracer.instant(
+                        "prefill.ready", cat="prefill",
+                        layer=i, elapsed_s=self._ready_elapsed[i],
                     )
-                self._ready_elapsed[i] = time.monotonic() - self._t0
-                self._ready[i].set()
         except BaseException as exc:  # noqa: BLE001 - crossing a thread
             self.error = exc
 
@@ -518,13 +527,13 @@ class PipelinedPrefill:
         undrawn consumer demand of layers ``0..i`` (consumers of layer
         i start the moment it is marked ready) plus layer i's internal
         production reserves."""
-        svc = self.service
         levels = {}
         kinds = (set(self._cum_cot[i]) | set(self._internal_cot[i])) & set(
             self._saved_cot_marks
         )
+        draws = self.service.session_draw_counts()
         for kind in sorted(kinds):
-            drawn = svc.session_draws.get(kind, 0) - self._draws_baseline.get(
+            drawn = draws.get(kind, 0) - self._draws_baseline.get(
                 kind, 0
             )
             undrawn = max(0, self._cum_cot[i].get(kind, 0) - drawn)
@@ -546,14 +555,27 @@ class PipelinedPrefill:
         deadline = time.monotonic() + (
             self.timeout if timeout is None else timeout
         )
-        while not self._ready[i].wait(0.05):
-            self._check_failed()
-            if time.monotonic() > deadline:
-                raise WaitTimeout(
-                    f"pipelined prefill: layer {i} "
-                    f"({self.plan.per_layer[i][0]}) not ready in time",
-                    what=f"layer {i} ({self.plan.per_layer[i][0]})",
-                )
+        waited = not self._ready[i].is_set()
+        start = time.monotonic()
+        try:
+            while not self._ready[i].wait(0.05):
+                self._check_failed()
+                if time.monotonic() > deadline:
+                    raise WaitTimeout(
+                        f"pipelined prefill: layer {i} "
+                        f"({self.plan.per_layer[i][0]}) not ready in time",
+                        what=f"layer {i} ({self.plan.per_layer[i][0]})",
+                    )
+        finally:
+            if waited:
+                tr = self.service.tracer
+                if tr.enabled:
+                    end = tr.now()
+                    tr.complete(
+                        "online.wait", end - (time.monotonic() - start), end,
+                        cat="stall",
+                        layer=i, op=self.plan.per_layer[i][0],
+                    )
         self._check_failed()
 
     def wait_all(self, timeout: float = None) -> None:

@@ -38,6 +38,7 @@ import threading
 import time
 
 from repro.errors import ChannelClosed, ChannelError, ChannelTimeout
+from repro.obs.trace import NULL_TRACER
 from repro.ot.channel import Channel, DEFAULT_RECV_TIMEOUT
 
 #: Frame header: little-endian u16 tag length.
@@ -179,6 +180,7 @@ class MuxChannel:
         self._pump_error = None
         self._pump_dead = False
         self._last_rx = time.monotonic()
+        self.tracer = NULL_TRACER
         self._pump = threading.Thread(
             target=self._pump_loop, name="mux-pump", daemon=True
         )
@@ -239,6 +241,8 @@ class MuxChannel:
                 self._send_frame(beat)
             except ChannelError:
                 return  # link down or mux closed; the pump handles it
+            if self.tracer.enabled:
+                self.tracer.instant("heartbeat", cat="liveness")
 
     def _heartbeat_expired(self) -> bool:
         if self.heartbeat_s is None:
@@ -253,6 +257,11 @@ class MuxChannel:
                     frame = self.base.recv_bytes(timeout=0.2)
                 except ChannelTimeout:
                     if self._heartbeat_expired():
+                        if self.tracer.enabled:
+                            self.tracer.instant(
+                                "heartbeat.lost", cat="liveness",
+                                silent_s=time.monotonic() - self._last_rx,
+                            )
                         self._pump_error = ChannelClosed(
                             f"peer heartbeat lost (silent for "
                             f"{self.heartbeat_miss} x {self.heartbeat_s}s)"

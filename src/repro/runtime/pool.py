@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import PoolClosed, PoolTimeout, ServiceError
+from repro.obs.trace import NULL_TRACER
 from repro.ot.cot import CotReceiverBatch, CotSenderBatch
 
 #: Ceiling for waits whose caller passed no explicit timeout.  Generous
@@ -110,6 +111,12 @@ class CorrelationPool:
         #: or degraded, so blocked consumers fail fast with the cause
         #: instead of burning their full timeout.
         self.failure_probe = None
+        #: Flight-recorder hooks (set by the service): stalls emit a
+        #: retroactive ``pool.wait`` span on the tracer and a duration
+        #: sample (milliseconds) to the observer.  Both default to
+        #: no-ops; the non-stalled fast path never touches them.
+        self.tracer = NULL_TRACER
+        self.stall_observer = None
 
     # -- levels -------------------------------------------------------------
     @property
@@ -266,29 +273,51 @@ class CorrelationPool:
             if self.needs_refill():
                 self.refill.set()
 
+    def _note_stall(self, start: float, what: str) -> None:
+        """Record a wait that actually blocked: a retroactive
+        ``pool.wait`` span plus a duration sample for the stall
+        histogram.  Called on success AND on timeout/close, so the
+        timeline shows the waits that failed too."""
+        dur = time.monotonic() - start
+        if self.stall_observer is not None:
+            self.stall_observer(self.name, dur * 1e3)
+        tr = self.tracer
+        if tr.enabled:
+            end = tr.now()
+            tr.complete(
+                "pool.wait", end - dur, end, cat="stall", pool=self.name, what=what
+            )
+
     def _wait(self, pred, timeout: float, what: str) -> None:
         if timeout is None:
             timeout = DEFAULT_WAIT_TIMEOUT_S
         deadline = time.monotonic() + timeout
-        with self._cond:
-            while not pred() and not self._closed:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise PoolTimeout(
-                        f"pool {self.name}: timed out waiting for {what} "
-                        f"(produced {self._produced}, reserved {self._reserved})",
+        start = time.monotonic()
+        waited = False
+        try:
+            with self._cond:
+                while not pred() and not self._closed:
+                    waited = True
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise PoolTimeout(
+                            f"pool {self.name}: timed out waiting for {what} "
+                            f"(produced {self._produced}, reserved {self._reserved})",
+                            pool=self.name,
+                            what=what,
+                        )
+                    if self.failure_probe is not None:
+                        self.failure_probe()
+                    self.refill.set()
+                    self._cond.wait(min(remaining, 0.2))
+                if not pred():
+                    raise PoolClosed(
+                        f"pool {self.name} closed while waiting for {what}",
                         pool=self.name,
-                        what=what,
                     )
-                if self.failure_probe is not None:
-                    self.failure_probe()
-                self.refill.set()
-                self._cond.wait(min(remaining, 0.2))
-            if not pred():
-                raise PoolClosed(
-                    f"pool {self.name} closed while waiting for {what}",
-                    pool=self.name,
-                )
+        finally:
+            if waited:
+                self._note_stall(start, what)
 
     def wait_level(self, target: int, timeout: float = None) -> None:
         """Block until ``level`` (produced ahead of reserved) >= target."""
@@ -358,40 +387,45 @@ class CorrelationPool:
         deadline = time.monotonic() + timeout
         start = time.monotonic()
         stalled = False
-        with self._cond:
-            while self._produced < lo + n and not self._closed:
-                stalled = True
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    self.stats.stall_time_s += time.monotonic() - start
-                    raise PoolTimeout(
-                        f"pool {self.name}: timed out waiting for [{lo}, {lo + n}) "
-                        f"(produced {self._produced})",
+        try:
+            with self._cond:
+                while self._produced < lo + n and not self._closed:
+                    stalled = True
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self.stats.stall_time_s += time.monotonic() - start
+                        raise PoolTimeout(
+                            f"pool {self.name}: timed out waiting for "
+                            f"[{lo}, {lo + n}) (produced {self._produced})",
+                            pool=self.name,
+                            what=f"[{lo}, {lo + n})",
+                        )
+                    if self.failure_probe is not None:
+                        self.failure_probe()
+                    self.refill.set()
+                    self._cond.wait(timeout=min(remaining, 0.2))
+                if self._produced < lo + n:  # closed before the range arrived
+                    raise PoolClosed(
+                        f"pool {self.name} closed while waiting for "
+                        f"[{lo}, {lo + n})",
                         pool=self.name,
-                        what=f"[{lo}, {lo + n})",
                     )
-                if self.failure_probe is not None:
-                    self.failure_probe()
-                self.refill.set()
-                self._cond.wait(timeout=min(remaining, 0.2))
-            if self._produced < lo + n:  # closed before the range arrived
-                raise PoolClosed(
-                    f"pool {self.name} closed while waiting for [{lo}, {lo + n})",
-                    pool=self.name,
-                )
-            if lo < self._base:
-                raise ServiceError(
-                    f"pool {self.name}: range [{lo}, {lo + n}) already trimmed"
-                )
-            sl = slice(lo - self._base, lo - self._base + n)
-            out = tuple(col[sl].copy() for col in self._columns)
-            self._mark_done(lo, lo + n)
-            self.stats.draws += 1
-            self.stats.items_drawn += n
+                if lo < self._base:
+                    raise ServiceError(
+                        f"pool {self.name}: range [{lo}, {lo + n}) already trimmed"
+                    )
+                sl = slice(lo - self._base, lo - self._base + n)
+                out = tuple(col[sl].copy() for col in self._columns)
+                self._mark_done(lo, lo + n)
+                self.stats.draws += 1
+                self.stats.items_drawn += n
+                if stalled:
+                    self.stats.stalled_draws += 1
+                    self.stats.stall_time_s += time.monotonic() - start
+                return out
+        finally:
             if stalled:
-                self.stats.stalled_draws += 1
-                self.stats.stall_time_s += time.monotonic() - start
-            return out
+                self._note_stall(start, f"take [{lo}, {lo + n})")
 
     def _mark_done(self, lo: int, hi: int) -> None:
         """Advance the contiguous-done frontier; trim old buffer prefix."""

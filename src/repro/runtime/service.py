@@ -54,6 +54,8 @@ from repro.ferret.protocol import FerretReceiver, FerretSender
 from repro.mpc.matmul import MatmulDims, generate_matrix_triples
 from repro.mpc.triples import generate_bit_triples, generate_ring_triples
 from repro.mpc.truncation import generate_trunc_pairs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.ot.cot import CotPool
 from repro.ot.retry import RetryingChannel, RetryPolicy
 from repro.ot.ot_from_cot import (
@@ -283,9 +285,25 @@ class CorrelationService:
         # reserve dipping below the low watermark, a blocked take)
         # nudges the leader's scheduling loop.
         self._wake = threading.Event()
+
+        # Flight recorder: one registry unifying every stats surface
+        # (pools, mux tags, ferret extends, retry/degraded/reconnect
+        # accounting, session draws) behind :meth:`telemetry`, plus a
+        # tracer (no-op until :meth:`set_tracer`) for the timeline.
+        self.tracer = NULL_TRACER
+        self.metrics = MetricsRegistry()
+        self._stall_hist = self.metrics.histogram("pool/stall_ms")
+        self.metrics.add_collector("pool", self._collect_pools)
+        self.metrics.add_collector("mux", self._collect_mux)
+        self.metrics.add_collector("ferret", self._collect_ferret)
+        self.metrics.add_collector("service", self._collect_service)
+        self.metrics.add_collector("reconnect", self._collect_reconnect)
+        self.metrics.add_collector("draws", self.session_draw_counts)
+
         for pool in self.pools.values():
             pool.refill = self._wake
             pool.failure_probe = self._pool_probe
+            pool.stall_observer = self._observe_stall
 
         self._alloc_lock = threading.Lock()
         #: Leader-side per-kind totals of consumer (session) draws --
@@ -402,11 +420,18 @@ class CorrelationService:
             self.degraded_since = time.monotonic()
             self.degraded_cause = exc
             self.degraded_events += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "degraded.enter", cat="degraded", cause=repr(exc)[:200]
+                )
 
     def _clear_degraded(self) -> None:
+        was_degraded = self.degraded_since is not None
         self.degraded_since = None
         self.degraded_cause = None
         self._nack_sent = False
+        if was_degraded and self.tracer.enabled:
+            self.tracer.instant("degraded.clear", cat="degraded")
 
     def retry_stats(self) -> dict:
         """Recovery accounting: retried receive slices, degraded spells,
@@ -427,6 +452,103 @@ class CorrelationService:
             out["replayed_bytes"] = base.replayed_bytes
             out["reconnect_events"] = list(base.reconnect_events)
         return out
+
+    # -- flight recorder ------------------------------------------------------
+    def _observe_stall(self, pool_name: str, dur_ms: float) -> None:
+        self._stall_hist.observe(dur_ms)
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a tracer to this party's whole stack: the service, every
+        pool (current and future), the mux, the retrying data channels,
+        and -- when the transport reconnects -- the ReconnectingChannel
+        underneath.  Pass :data:`repro.obs.trace.NULL_TRACER` to detach."""
+        self.tracer = tracer
+        with self._alloc_lock:
+            pools = list(self.pools.values())
+        for pool in pools:
+            pool.tracer = tracer
+        for ch in self._data_channels:
+            ch.tracer = tracer
+        self.mux.tracer = tracer
+        base = getattr(self.mux, "base", None)
+        if base is not None and hasattr(base, "reconnect_events"):
+            base.tracer = tracer
+
+    def telemetry(self) -> dict:
+        """One coherent snapshot of every stats surface, flat-keyed:
+        ``pool/<kind>/...``, ``mux/<tag>/...``, ``ferret/<dir>/...``,
+        ``service/...``, ``reconnect/...``, ``draws/<kind>`` plus the
+        ``pool/stall_ms`` histogram.  Pure read; see
+        ``metrics.snapshot_delta()`` for periodic deltas."""
+        return self.metrics.snapshot()
+
+    def session_draw_counts(self) -> dict:
+        """Consistent snapshot of leader-side per-kind session draws
+        (the mutations happen under the same allocation lock)."""
+        with self._alloc_lock:
+            return dict(self.session_draws)
+
+    def _collect_pools(self) -> dict:
+        out = {}
+        with self._alloc_lock:
+            pools = list(self.pools.items())
+        for kind, pool in pools:
+            stats = pool.stats.as_dict()
+            stats["level"] = pool.level
+            stats["produced"] = pool.produced
+            stats["deficit"] = pool.deficit
+            stats["low_watermark"], stats["high_watermark"] = pool.watermarks
+            for key, value in stats.items():
+                out[f"{kind}/{key}"] = value
+        return out
+
+    def _collect_mux(self) -> dict:
+        out = {}
+        frames = self.mux.receive_counts()
+        for tag, stats in self.mux.stats_by_tag().items():
+            for key, value in stats.as_dict().items():
+                out[f"{tag}/{key}"] = value
+            out[f"{tag}/rx_frames"] = frames.get(tag, 0)
+        return out
+
+    def _collect_ferret(self) -> dict:
+        out = {}
+        for direction in ("fwd", "rev"):
+            ep = self._endpoint(direction)
+            if ep is None:
+                continue
+            out[f"{direction}/extends"] = self.extends[direction]
+            out[f"{direction}/iterations"] = ep.iterations
+            last = ep.last_stats
+            if last is not None:
+                out[f"{direction}/last_n_output"] = last.n_output
+                out[f"{direction}/last_prg_calls"] = last.prg_calls
+                out[f"{direction}/last_bytes_sent"] = last.bytes_sent
+                out[f"{direction}/last_rounds"] = last.rounds
+        return out
+
+    def _collect_service(self) -> dict:
+        return {
+            "stalled_recvs": sum(c.stalled_recvs for c in self._data_channels),
+            "retry_slices": sum(c.retry_slices for c in self._data_channels),
+            "degraded": int(self.degraded_since is not None),
+            "degraded_events": self.degraded_events,
+            "worker_restarts": self.worker_restarts,
+            "resyncs": self.resyncs,
+            "rolled_back": self.rolled_back,
+        }
+
+    def _collect_reconnect(self) -> dict:
+        base = getattr(self.mux, "base", None)
+        if base is None or not hasattr(base, "reconnect_events"):
+            return {}
+        return {
+            "reconnects": base.reconnects,
+            "epoch": base.epoch,
+            "replayed_frames": base.replayed_frames,
+            "replayed_bytes": base.replayed_bytes,
+            "journal_depth": base.journal_depth,
+        }
 
     def resume_state(self) -> dict:
         """The JSON state this party contributes to a reconnect resume
@@ -463,6 +585,8 @@ class CorrelationService:
                 )
                 pool.refill = self._wake
                 pool.failure_probe = self._pool_probe
+                pool.stall_observer = self._observe_stall
+                pool.tracer = self.tracer
                 self.pools[key] = pool
             return pool
 
@@ -483,6 +607,8 @@ class CorrelationService:
                 )
                 pool.refill = self._wake
                 pool.failure_probe = self._pool_probe
+                pool.stall_observer = self._observe_stall
+                pool.tracer = self.tracer
                 self.pools[key] = pool
             return pool
 
@@ -635,6 +761,10 @@ class CorrelationService:
                     raise
                 self.worker_restarts += 1
                 self._enter_degraded(exc)
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "worker.restart", cat="degraded", cause=repr(exc)[:200]
+                    )
 
     def _leader_loop(self) -> None:
         while not self._stop.is_set():
@@ -751,6 +881,10 @@ class CorrelationService:
         except _TRANSIENT:
             return False
         self.resyncs += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "service.resync", cat="resync", role="leader", nonce=self._sync_nonce
+            )
         self._clear_degraded()
         return True
 
@@ -773,6 +907,13 @@ class CorrelationService:
             return
         self._rollback_pools(payload["produced"])
         self.resyncs += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "service.resync",
+                cat="resync",
+                role="follower",
+                nonce=payload["nonce"],
+            )
         self._clear_degraded()
 
     def _rollback_pools(self, peer_produced: dict) -> None:
@@ -1050,6 +1191,14 @@ class CorrelationService:
         return None
 
     def _execute(self, cmd) -> None:
+        tr = self.tracer
+        if not tr.enabled:
+            return self._execute_cmd(cmd)
+        op = cmd[0].decode("ascii", errors="replace").rstrip("\x00")
+        with tr.span(f"produce.{op}", cat="produce", n=int(cmd[1])):
+            return self._execute_cmd(cmd)
+
+    def _execute_cmd(self, cmd) -> None:
         op = cmd[0]
         if op == OP_MATRIX_TRIPLE:
             self._produce_matrix_triple(*cmd[1:])
@@ -1203,8 +1352,15 @@ class ServiceSession:
         if self.party == 0:
             lo = self.service.reserve(kind, n)
             self.channel.send_int(lo)
-            return lo
-        return self.channel.recv_int()
+        else:
+            lo = self.channel.recv_int()
+        tr = self.service.tracer
+        if tr.enabled:
+            tr.instant(
+                "session.alloc", cat="session",
+                session=self.name, kind=kind, n=n, lo=lo,
+            )
+        return lo
 
     def _take(self, kind: str, lo: int, n: int):
         return self.service.pools[kind].take_batch(
@@ -1222,14 +1378,21 @@ class ServiceSession:
         if self.party == 0:
             offsets = [self.service.reserve(kind, n) for kind, n in requests]
             self.channel.send_ring(np.asarray(offsets, dtype=np.uint64))
-            return offsets
-        got = self.channel.recv_ring()
-        if got.shape[0] != len(requests):
-            raise ServiceError(
-                f"fused allocation expected {len(requests)} offsets, "
-                f"got {got.shape[0]}"
+        else:
+            got = self.channel.recv_ring()
+            if got.shape[0] != len(requests):
+                raise ServiceError(
+                    f"fused allocation expected {len(requests)} offsets, "
+                    f"got {got.shape[0]}"
+                )
+            offsets = [int(v) for v in got]
+        tr = self.service.tracer
+        if tr.enabled:
+            tr.instant(
+                "session.alloc", cat="session", session=self.name,
+                kinds=",".join(kind for kind, _ in requests),
             )
-        return [int(v) for v in got]
+        return offsets
 
     # -- typed draws ---------------------------------------------------------
     def draw_sender_cots(self, n: int) -> tuple:
