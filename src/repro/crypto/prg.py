@@ -21,7 +21,8 @@ import numpy as np
 
 from repro.crypto import blocks
 from repro.crypto.aes import AES128
-from repro.crypto.chacha import chacha_core, make_states
+from repro.crypto.chacha import CONSTANTS as CHACHA_CONSTANTS
+from repro.crypto.kernels import chacha_core
 from repro.errors import ParameterError
 
 #: Blocks produced per ChaCha core invocation (512-bit output).
@@ -120,6 +121,25 @@ class ChaChaTreePrg(TreePrg):
         self.calls_per_expand = -(-arity // CHACHA_BLOCKS_PER_CALL)  # ceil division
         digest = hashlib.sha256(salt).digest()
         self._salt_words = np.frombuffer(digest[:16], dtype="<u4")
+        # State schedule, derived once (the AesTreePrg analogue of its
+        # cached key schedule): everything in the (n*calls, 16) ChaCha
+        # state that does not depend on the parent values or the level --
+        # constants, zero counter, lane indices, salt word -- keyed by
+        # batch size, since batched GGM levels reuse the same few sizes
+        # on every extend.  expand() then only writes key words + level.
+        self._state_cache: dict = {}
+
+    def _state_template(self, n: int) -> np.ndarray:
+        calls = self.calls_per_expand
+        state = self._state_cache.get(n)
+        if state is None:
+            state = np.empty((n * calls, 16), dtype=np.uint32)
+            state[:, 0:4] = CHACHA_CONSTANTS
+            state[:, 12] = 0  # counter
+            state[:, 14] = np.tile(np.arange(calls, dtype=np.uint32), n)  # lane
+            state[:, 15] = self._salt_words[0]
+            self._state_cache[n] = state
+        return state
 
     def expand(self, nodes: np.ndarray, level: int) -> np.ndarray:
         blocks.require_blocks(nodes, "nodes")
@@ -128,16 +148,11 @@ class ChaChaTreePrg(TreePrg):
         # Key = seed words || seed words XOR salt (a cheap domain separation
         # that fills the 256-bit key from a 128-bit node value).
         seed_words = blocks.to_uint32(nodes)
-        key_words = np.empty((n * calls, 8), dtype=np.uint32)
+        state = self._state_template(n)
         repeated = np.repeat(seed_words, calls, axis=0)
-        key_words[:, 0:4] = repeated
-        key_words[:, 4:8] = repeated ^ self._salt_words
-        lane = np.tile(np.arange(calls, dtype=np.uint32), n)
-        nonce = np.empty((n * calls, 3), dtype=np.uint32)
-        nonce[:, 0] = np.uint32(level)
-        nonce[:, 1] = lane
-        nonce[:, 2] = self._salt_words[0]
-        state = make_states(key_words, np.zeros(n * calls, dtype=np.uint32), nonce)
+        state[:, 4:8] = repeated
+        state[:, 8:12] = repeated ^ self._salt_words
+        state[:, 13] = np.uint32(level)
         stream = chacha_core(state, self.rounds)  # (n*calls, 16) uint32
         # Each call row holds 4 candidate children; keep the first `arity`
         # children per parent in order.

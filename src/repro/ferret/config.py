@@ -23,6 +23,13 @@ class FerretConfig:
             message per GGM level, Figure 8's inter-tree parallelism)
             instead of tree by tree.  Outputs are bit-identical either
             way; the sequential path survives as a reference oracle.
+        overlap_encode: compute the ``A @ vec`` half of the LPN encode
+            on a background thread while the interactive MPCOT (GGM
+            expansion + channel rounds) runs, XORing the MPCOT output
+            in at the end.  Purely local scheduling: outputs and wire
+            bytes are bit-identical either way (XOR associativity).
+            Shard workers enable it; default off preserves the
+            single-threaded extend.
     """
 
     params: LpnParams
@@ -30,6 +37,7 @@ class FerretConfig:
     prg_kind: str = "aes"
     matrix_seed: int = 0xFE44E7
     batched: bool = True
+    overlap_encode: bool = False
 
     def __post_init__(self):
         if self.arity < 2 or self.arity & (self.arity - 1):

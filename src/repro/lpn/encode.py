@@ -14,9 +14,12 @@ within a bounded working set.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.crypto import blocks
+from repro.crypto.kernels import gather_xor_blocks
 from repro.errors import ParameterError
 from repro.lpn.matrix import LpnMatrix
 
@@ -32,6 +35,9 @@ def encode_blocks(matrix: LpnMatrix, vec: np.ndarray, addend: np.ndarray) -> np.
         raise ParameterError(f"input vector must have k={matrix.k} blocks")
     if addend.shape[0] != matrix.n:
         raise ParameterError(f"addend must have n={matrix.n} blocks")
+    fast = gather_xor_blocks(matrix.indices, vec, addend)
+    if fast is not None:  # compiled path (numba); bit-exact vs the loop below
+        return fast
     out = np.empty_like(addend)
     for start in range(0, matrix.n, CHUNK_ROWS):
         stop = min(start + CHUNK_ROWS, matrix.n)
@@ -56,6 +62,58 @@ def encode_bits(matrix: LpnMatrix, bits: np.ndarray, addend_bits: np.ndarray) ->
         acc = np.bitwise_xor.reduce(gathered, axis=1)
         out[start:stop] = acc ^ addend_bits[start:stop]
     return out
+
+
+class EncodePremix:
+    """The matrix-product half of an LPN encode, started early.
+
+    ``A @ vec`` depends only on the LPN state carried between
+    iterations -- not on the MPCOT output it is eventually XORed with
+    -- so a Ferret extend can compute it on a background thread while
+    the interactive MPCOT (channel rounds + GGM tree expansion) is
+    still in flight, overlapping the extend's two stages.  XOR
+    associativity makes ``finish(w)`` bit-identical to running
+    :func:`encode_blocks` / :func:`encode_bits` after the fact, which
+    is exactly what the equivalence tests assert.
+    """
+
+    def __init__(self, fn):
+        self._result = None
+        self._error = None
+
+        def run():
+            try:
+                self._result = fn()
+            except BaseException as exc:  # re-raised on finish()
+                self._error = exc
+
+        self._thread = threading.Thread(target=run, name="lpn-premix", daemon=True)
+        self._thread.start()
+
+    def finish(self, addend: np.ndarray) -> np.ndarray:
+        """Join the background product and XOR in the late addend."""
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+        return np.bitwise_xor(self._result, addend)
+
+
+def premix_blocks(matrix: LpnMatrix, vec: np.ndarray) -> EncodePremix:
+    """Start ``A @ vec`` (block kernel, zero addend) in the background."""
+    blocks.require_blocks(vec, "vec")
+    if vec.shape[0] != matrix.k:
+        raise ParameterError(f"input vector must have k={matrix.k} blocks")
+    zeros = np.zeros((matrix.n, 2), dtype=vec.dtype)
+    return EncodePremix(lambda: encode_blocks(matrix, vec, zeros))
+
+
+def premix_bits(matrix: LpnMatrix, bits: np.ndarray) -> EncodePremix:
+    """Start ``A @ bits`` (bit kernel, zero addend) in the background."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.shape[0] != matrix.k:
+        raise ParameterError(f"input bit vector must have k={matrix.k} entries")
+    zeros = np.zeros(matrix.n, dtype=np.uint8)
+    return EncodePremix(lambda: encode_bits(matrix, bits, zeros))
 
 
 def encode_streamed(

@@ -37,8 +37,8 @@ from repro.errors import ParameterError, ProtocolError
 from repro.mpc.triples import (
     MatrixTriples,
     _bit_decompose,
-    gilboa_receive,
-    gilboa_send,
+    gilboa_receive_stream,
+    gilboa_send_stream,
     ring_mask_u64,
 )
 from repro.ot.channel import Channel
@@ -53,6 +53,13 @@ DEFAULT_BITS = 8
 #: (:mod:`repro.ppml.matmul`) and the executable protocol's byte
 #: predictors below.
 BYTES_PER_COT = 17
+
+#: Row-block size for streamed Gilboa correction payloads.  FIG16-size
+#: triples used to materialize the full (t, width) correction matrix --
+#: ~1 GiB at (64, 4096, 64) x 8 bits -- so the payload now streams in
+#: blocks of this many COT rows; peak working set per term becomes
+#: ``GILBOA_CHUNK_ROWS * width * 8`` bytes regardless of t.
+GILBOA_CHUNK_ROWS = 1 << 12
 
 
 @dataclass(frozen=True)
@@ -112,6 +119,12 @@ def matmul_preproc_bytes(
     activation term carries rows of B (n slots), the weight term
     columns of A (m slots).  Bit vectors ride in one length-prefixed
     message per term (8-byte header, bit-packed).
+
+    Chunked payload streaming (``GILBOA_CHUNK_ROWS``) splits each
+    term's payload into ``ceil(t / chunk)`` ring messages, but ring
+    payloads are raw uint64 bytes with no per-message framing, so the
+    byte count is chunking-invariant -- the equality tests assert this
+    model against the measured bytes of the streamed protocol.
     """
     t_act = dims.m * dims.k * bits
     t_wgt = dims.k * dims.n * bits
@@ -129,6 +142,7 @@ def generate_matrix_triples(
     party: int,
     ot_sender: int = 1,
     tweak_base: int = 0,
+    chunk_rows: int = GILBOA_CHUNK_ROWS,
 ) -> MatrixTriples:
     """One matrix Beaver triple over Z_2^bits via Gilboa multiplication.
 
@@ -146,9 +160,16 @@ def generate_matrix_triples(
             terms -- the Fig 16 role choice, both values supported.
         tweak_base: absolute pool offset of the consumed range (both
             parties must pass the same value).
+        chunk_rows: Gilboa row-block size; the correction matrix is
+            built, shipped and reduced in blocks of this many COT rows
+            instead of ever materializing ``(t, width)``.  Both parties
+            must pass the same value; outputs and wire bytes are
+            chunking-invariant.
     """
     if party not in (0, 1) or ot_sender not in (0, 1):
         raise ParameterError("party and ot_sender must be 0 or 1")
+    if chunk_rows < 1:
+        raise ParameterError(f"chunk_rows must be >= 1, got {chunk_rows}")
     m, k, n = dims.m, dims.k, dims.n
     mask = ring_mask_u64(bits)
     a = rng.integers(0, 1 << bits, (m, k), dtype=np.uint64)
@@ -160,36 +181,62 @@ def generate_matrix_triples(
         tweak_base + t_act, tweak_base + t_act + t_wgt, dtype=np.uint64
     )
     shifts = np.uint64(1) << np.arange(bits, dtype=np.uint64)
+
+    # Both cross terms stream in row blocks: COT row r of the activation
+    # term is (i, j, t) = (r // (k*bits), (r // bits) % k, r % bits) with
+    # payload B[j, :] << t, reduced into acc[i, :]; the weight term's row
+    # is (j, l, t) = (r // (n*bits), (r // bits) % n, r % bits) with
+    # payload A[:, j] << t, reduced into acc[l, :].  Sums wrap mod 2^64
+    # exactly like the one-shot reshape().sum() they replace.
+    def act_corr(start, stop):
+        r = np.arange(start, stop)
+        return (b[(r // bits) % k, :] * shifts[r % bits][:, None]) & mask
+
+    def wgt_corr(start, stop):
+        r = np.arange(start, stop)
+        return (a.T[r // (n * bits), :] * shifts[r % bits][:, None]) & mask
+
+    def reduce_term(chunks, group, out_rows, width):
+        acc = np.zeros((out_rows, width), dtype=np.uint64)
+        for start, share in chunks:
+            rows = np.arange(start, start + share.shape[0]) // group
+            np.add.at(acc, rows, share)
+        return acc
+
     if party != ot_sender:
         # Activation term: choices = bits of my A (flattened (i,j) then t);
         # payload slot = the peer's B[j, :].
-        got = gilboa_receive(
+        chunks = gilboa_receive_stream(
             channel, pool.take_receiver(t_act), _bit_decompose(a, bits),
-            n, bits, tweaks_act,
+            n, bits, tweaks_act, chunk_rows,
         )
-        cross_act = got.reshape(m, k, bits, n).sum(axis=(1, 2), dtype=np.uint64)
+        cross_act = reduce_term(chunks, k * bits, m, n)
         # Weight term: choices = bits of my B ((j,l) then t); payload =
         # the peer's A[:, j].
-        got = gilboa_receive(
+        chunks = gilboa_receive_stream(
             channel, pool.take_receiver(t_wgt), _bit_decompose(b, bits),
-            m, bits, tweaks_wgt,
+            m, bits, tweaks_wgt, chunk_rows,
         )
-        cross_wgt = got.reshape(k, n, bits, m).sum(axis=(0, 2), dtype=np.uint64).T
     else:
         # Activation term payloads: corr[(i,j,t)] = B_me[j, :] << t.
-        corr = np.broadcast_to(
-            (b[None, :, None, :] * shifts[None, None, :, None]) & mask,
-            (m, k, bits, n),
-        ).reshape(t_act, n)
-        s = gilboa_send(channel, pool.take_sender(t_act), corr, bits, tweaks_act)
-        cross_act = s.reshape(m, k, bits, n).sum(axis=(1, 2), dtype=np.uint64)
+        chunks = gilboa_send_stream(
+            channel, pool.take_sender(t_act), act_corr, n, bits,
+            tweaks_act, chunk_rows,
+        )
+        cross_act = reduce_term(chunks, k * bits, m, n)
         # Weight term payloads: corr[(j,l,t)] = A_me[:, j] << t.
-        corr = np.broadcast_to(
-            (a.T[:, None, None, :] * shifts[None, None, :, None]) & mask,
-            (k, n, bits, m),
-        ).reshape(t_wgt, m)
-        s = gilboa_send(channel, pool.take_sender(t_wgt), corr, bits, tweaks_wgt)
-        cross_wgt = s.reshape(k, n, bits, m).sum(axis=(0, 2), dtype=np.uint64).T
+        chunks = gilboa_send_stream(
+            channel, pool.take_sender(t_wgt), wgt_corr, m, bits,
+            tweaks_wgt, chunk_rows,
+        )
+    # Weight reduction groups rows by l = (r // bits) % n, which is NOT
+    # monotone in r -- fold the leading j axis away first by reducing
+    # modulo the (n, bits) tail.
+    acc = np.zeros((n, m), dtype=np.uint64)
+    for start, share in chunks:
+        rows = (np.arange(start, start + share.shape[0]) // bits) % n
+        np.add.at(acc, rows, share)
+    cross_wgt = acc.T
     c = (a @ b + cross_act + cross_wgt) & mask
     return MatrixTriples(a, b, c, bits)
 

@@ -224,6 +224,84 @@ def gilboa_receive(
     return np.where(choices[:, None].astype(bool), (c - pad_mine) & mask, pad_mine)
 
 
+def gilboa_send_stream(
+    channel: Channel,
+    cots: CotSenderBatch,
+    corr_fn,
+    width: int,
+    bits: int,
+    tweaks: np.ndarray,
+    chunk_rows: int,
+    crhf: Crhf = DEFAULT_CRHF,
+):
+    """Chunked :func:`gilboa_send`: yields ``(start, share_chunk)``.
+
+    The correction matrix is built row block by row block through
+    ``corr_fn(start, stop) -> (stop-start, width)`` and shipped as one
+    ring message per block, so neither the correlations nor the pad
+    arrays are ever materialized at full ``(n_cots, width)`` size --
+    the caller reduces each yielded share chunk immediately.  Ring
+    payloads carry no per-message framing, so total wire bytes are
+    IDENTICAL to the one-shot path (only the message count changes),
+    and per-row pads make the yielded values bit-identical too.  Both
+    parties must agree on ``chunk_rows``.
+    """
+    mask = ring_mask_u64(bits)
+    d = channel.recv_bits()
+    if d.shape[0] != len(cots):
+        raise ProtocolError("correction bit vector has the wrong length")
+    tweaks = np.asarray(tweaks, dtype=np.uint64)
+    for start in range(0, len(cots), chunk_rows):
+        stop = min(start + chunk_rows, len(cots))
+        corr = np.ascontiguousarray(corr_fn(start, stop), dtype=np.uint64)
+        if corr.shape != (stop - start, width):
+            raise ProtocolError("corr_fn returned a wrongly shaped chunk")
+        z = cots.z[start:stop]
+        d_chunk = d[start:stop]
+        tw = tweaks[start:stop]
+        pad0 = _expand_ring_pads(
+            blocks.xor(z, blocks.mul_bit(cots.delta, d_chunk)), tw, width, crhf
+        ) & mask
+        pad1 = _expand_ring_pads(
+            blocks.xor(z, blocks.mul_bit(cots.delta, d_chunk ^ 1)), tw, width, crhf
+        ) & mask
+        channel.send_ring((corr + pad0 + pad1) & mask)
+        yield start, (np.uint64(0) - pad0) & mask
+
+
+def gilboa_receive_stream(
+    channel: Channel,
+    cots: CotReceiverBatch,
+    choices: np.ndarray,
+    width: int,
+    bits: int,
+    tweaks: np.ndarray,
+    chunk_rows: int,
+    crhf: Crhf = DEFAULT_CRHF,
+):
+    """Chunked :func:`gilboa_receive`: yields ``(start, share_chunk)``.
+
+    Mirror of :func:`gilboa_send_stream`: the derandomization bits go
+    out in one message (as in the one-shot path), then each correction
+    row block is received and unpadded separately so the full
+    ``(n_cots, width)`` result never exists in memory at once.
+    """
+    choices = np.asarray(choices, dtype=np.uint8) & 1
+    if choices.shape[0] != len(cots):
+        raise ProtocolError("COT batch and choice vector must have equal length")
+    mask = ring_mask_u64(bits)
+    channel.send_bits(cots.x ^ choices)
+    tweaks = np.asarray(tweaks, dtype=np.uint64)
+    for start in range(0, len(cots), chunk_rows):
+        stop = min(start + chunk_rows, len(cots))
+        pad_mine = _expand_ring_pads(
+            cots.y[start:stop], tweaks[start:stop], width, crhf
+        ) & mask
+        c = channel.recv_ring().reshape(stop - start, width)
+        picked = choices[start:stop, None].astype(bool)
+        yield start, np.where(picked, (c - pad_mine) & mask, pad_mine)
+
+
 @dataclass
 class RingTriples:
     """One party's additive shares of n triples (a, b, c = a*b) mod 2^bits."""

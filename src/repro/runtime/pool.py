@@ -104,6 +104,7 @@ class CorrelationPool:
         self._base = 0  # absolute index of the first retained element
         self._done_upto = 0  # contiguous prefix fully taken
         self._pending_done: dict = {}  # lo -> hi of out-of-order takes
+        self._pending_segments: dict = {}  # lo -> column arrays not yet contiguous
         self._trim_chunk = trim_chunk
         self._closed = False
         #: Optional liveness hook (set by the service): called on every
@@ -186,6 +187,53 @@ class CorrelationPool:
             self.stats.items_refilled += n
             self._cond.notify_all()
 
+    def append_columns_at(self, lo: int, arrays: tuple) -> None:
+        """Append one production batch at absolute stream offset ``lo``.
+
+        Shard mergers deliver batches out of arrival order: shard s may
+        finish the range starting at ``lo`` before the shard owning the
+        range below it has landed.  Batches at the produced frontier are
+        appended immediately; batches beyond it are parked and drained
+        the moment the gap below them fills, so ``produced`` only ever
+        advances over a contiguous prefix -- consumers never observe a
+        hole.  ``append_columns`` remains the (byte-identical)
+        single-producer path: it IS ``append_columns_at(produced, ...)``.
+        """
+        n = arrays[0].shape[0]
+        if any(a.shape[0] != n for a in arrays):
+            raise ServiceError(f"pool {self.name}: column lengths disagree")
+        with self._cond:
+            if self._closed:
+                raise ServiceError(f"pool {self.name} is closed")
+            if lo < self._produced:
+                raise ServiceError(
+                    f"pool {self.name}: segment at {lo} overlaps the produced "
+                    f"frontier {self._produced}"
+                )
+            if lo in self._pending_segments:
+                raise ServiceError(
+                    f"pool {self.name}: duplicate segment at offset {lo}"
+                )
+            self._pending_segments[lo] = tuple(arrays)
+            advanced = False
+            while self._produced in self._pending_segments:
+                seg = self._pending_segments.pop(self._produced)
+                used = self._produced - self._base
+                for i, arr in enumerate(seg):
+                    self._grow(i, arr, used)
+                self._produced += seg[0].shape[0]
+                self.stats.refills += 1
+                self.stats.items_refilled += seg[0].shape[0]
+                advanced = True
+            if advanced:
+                self._cond.notify_all()
+
+    @property
+    def pending_segments(self) -> int:
+        """Out-of-order segments parked above the produced frontier."""
+        with self._lock:
+            return len(self._pending_segments)
+
     def rollback_to(self, produced: int) -> int:
         """Discard production past absolute position ``produced``.
 
@@ -207,6 +255,14 @@ class CorrelationPool:
                     f"pool {self.name}: cannot roll back to {produced}; items "
                     f"up to {taken_hi} were already consumed"
                 )
+            # Parked out-of-order segments describe production beyond the
+            # frontier; a rollback invalidates that future, so they are
+            # re-produced rather than replayed from stale buffers.
+            self._pending_segments = {
+                seg_lo: seg
+                for seg_lo, seg in self._pending_segments.items()
+                if seg_lo < produced
+            }
             if produced >= self._produced:
                 return 0
             dropped = self._produced - produced

@@ -65,6 +65,7 @@ from repro.ot.ot_from_cot import (
     ot_send_from_cot,
 )
 from repro.runtime.mux import MuxChannel
+from repro.runtime.shard import ShardManager
 from repro.runtime.pool import (
     MatrixTriplePool,
     ReceiverCotPool,
@@ -126,10 +127,16 @@ class ServiceTuning:
     one TPRC command may fuse when stock allows: pair generation pays
     its millionaires'/B2A message rounds once per command, so fusing
     chunks amortizes the per-chunk opening rounds of deep deficits.
+    ``shards`` moves raw-COT production into that many producer
+    *process pairs* (see :mod:`repro.runtime.shard`); 1 keeps today's
+    in-thread extends byte-identically.  Derived ``None`` COT
+    watermarks scale with the shard count so every shard can keep one
+    extend's output in flight.
     """
 
     cot_low: int = None
     cot_high: int = None
+    shards: int = 1
     triple_low: int = 128
     triple_high: int = 1024
     triple_chunk: int = 1024
@@ -231,8 +238,15 @@ class CorrelationService:
             )
 
         t = self.tuning
-        cot_low = t.cot_low if t.cot_low is not None else max(1, config.net_output // 4)
-        cot_high = t.cot_high if t.cot_high is not None else config.net_output
+        if t.shards < 1:
+            raise ServiceError("shards must be >= 1")
+        # Shard-aware defaults: with N producer shards, keep N extends'
+        # worth of output in flight so no shard idles against a full pool.
+        cot_low = (
+            t.cot_low if t.cot_low is not None
+            else max(1, config.net_output * t.shards // 4)
+        )
+        cot_high = t.cot_high if t.cot_high is not None else config.net_output * t.shards
         self.pools: dict = {}
         if party == 0:
             self.pools["cot/fwd"] = SenderCotPool(
@@ -299,6 +313,14 @@ class CorrelationService:
         self.metrics.add_collector("service", self._collect_service)
         self.metrics.add_collector("reconnect", self._collect_reconnect)
         self.metrics.add_collector("draws", self.session_draw_counts)
+
+        # Process-sharded raw-COT production (repro.runtime.shard):
+        # shards=1 constructs none of the machinery, keeping the
+        # single-worker stream byte-identical.
+        self._shard_mgr = None
+        if t.shards > 1:
+            self._shard_mgr = ShardManager(self, t.shards, seed=seed)
+            self.metrics.add_collector("shard", self._shard_mgr.collect)
 
         for pool in self.pools.values():
             pool.refill = self._wake
@@ -722,9 +744,15 @@ class CorrelationService:
     # -- worker -------------------------------------------------------------
     def _run(self) -> None:
         try:
-            self.ferret_fwd.setup(self._ch_fwd)
-            if self.ferret_rev is not None:
-                self.ferret_rev.setup(self._ch_rev)
+            if self._shard_mgr is not None:
+                # Sharded mode: base OTs run per shard pair over their
+                # own sockets; the parent endpoints only contribute the
+                # Delta and are never set up or extended.
+                self._shard_mgr.start()
+            else:
+                self.ferret_fwd.setup(self._ch_fwd)
+                if self.ferret_rev is not None:
+                    self.ferret_rev.setup(self._ch_rev)
             self._ready.set()
             if self.party == 0:
                 try:
@@ -744,6 +772,12 @@ class CorrelationService:
         except BaseException as exc:  # noqa: BLE001 - crossing a thread
             self.error = exc
         finally:
+            if self._shard_mgr is not None:
+                try:
+                    self._shard_mgr.stop()
+                except Exception as exc:  # noqa: BLE001 - already unwinding
+                    if self.error is None:
+                        self.error = exc
             self._ready.set()
             for pool in self.pools.values():
                 pool.close()
@@ -1037,19 +1071,39 @@ class CorrelationService:
             return _CTL_TPRC.unpack(frame)
         return _CTL.unpack(frame)
 
+    def _starved(self, op):
+        """A derived producer is starved on raw COTs.
+
+        Unsharded, the extend itself becomes the next command.  Sharded,
+        extends are not commands: nudge the shard fleet to keep at least
+        one extend of that direction in flight and return ``None`` so
+        the loop sleeps on ``_wake`` until the merger lands a batch.
+        """
+        if self._shard_mgr is None:
+            return (op, 0, 0, 0)
+        self._shard_mgr.request_extend("rev" if op == OP_EXTEND_REV else "fwd")
+        return None
+
     def _decide(self):
         """Leader scheduling: pick the next production command, if any.
 
         Extends come first (they are the only source of raw COTs), then
         derived production over ranges that are *already produced*, so
         the worker never deadlocks on its own output.
+
+        In sharded mode extends never become commands: raw-COT deficits
+        are dispatched to the shard workers instead, and derived
+        production waits for the merged pools to fill.
         """
         t = self.tuning
         pools = self.pools
-        if pools["cot/fwd"].needs_refill():
-            return (OP_EXTEND_FWD, 0, 0, 0)
-        if t.enable_reverse and pools["cot/rev"].needs_refill():
-            return (OP_EXTEND_REV, 0, 0, 0)
+        if self._shard_mgr is not None:
+            self._shard_mgr.request_refills()
+        else:
+            if pools["cot/fwd"].needs_refill():
+                return (OP_EXTEND_FWD, 0, 0, 0)
+            if t.enable_reverse and pools["cot/rev"].needs_refill():
+                return (OP_EXTEND_REV, 0, 0, 0)
         with self._alloc_lock:
             if t.enable_triples and pools["tri"].needs_refill():
                 want = min(pools["tri"].deficit, t.triple_chunk)
@@ -1060,7 +1114,7 @@ class CorrelationService:
                         if pools["cot/fwd"].level <= pools["cot/rev"].level
                         else OP_EXTEND_REV
                     )
-                    return (direction, 0, 0, 0)
+                    return self._starved(direction)
                 want = min(want, avail)
                 lo_f = pools["cot/fwd"].try_reserve_produced(want)
                 lo_r = pools["cot/rev"].try_reserve_produced(want)
@@ -1081,7 +1135,7 @@ class CorrelationService:
                         if pools["cot/fwd"].level <= pools["cot/rev"].level
                         else OP_EXTEND_REV
                     )
-                    return (direction, 0, 0, 0)
+                    return self._starved(direction)
                 lo_f = pools["cot/fwd"].try_reserve_produced(want * bits)
                 lo_r = pools["cot/rev"].try_reserve_produced(want * bits)
                 if lo_f is None or lo_r is None:  # pragma: no cover - racing
@@ -1098,7 +1152,7 @@ class CorrelationService:
                     pools["rot/fwd"].deficit, t.rot_chunk, pools["cot/fwd"].level
                 )
                 if want <= 0:
-                    return (OP_EXTEND_FWD, 0, 0, 0)
+                    return self._starved(OP_EXTEND_FWD)
                 lo = pools["cot/fwd"].try_reserve_produced(want)
                 if lo is None:  # pragma: no cover - racing
                     return None
@@ -1108,7 +1162,7 @@ class CorrelationService:
                     pools["rot/rev"].deficit, t.rot_chunk, pools["cot/rev"].level
                 )
                 if want <= 0:
-                    return (OP_EXTEND_REV, 0, 0, 0)
+                    return self._starved(OP_EXTEND_REV)
                 lo = pools["cot/rev"].try_reserve_produced(want)
                 if lo is None:  # pragma: no cover - racing
                     return None
@@ -1133,7 +1187,7 @@ class CorrelationService:
             else:
                 direction, src = 0, pools["cot/fwd"]
             if src.level < needed:
-                return (OP_EXTEND_REV if direction else OP_EXTEND_FWD, 0, 0, 0)
+                return self._starved(OP_EXTEND_REV if direction else OP_EXTEND_FWD)
             lo = src.try_reserve_produced(needed)
             if lo is None:  # pragma: no cover - racing
                 return None
@@ -1165,7 +1219,7 @@ class CorrelationService:
             )
             if want <= 0:
                 if pools["cot/fwd"].level < pool.cots_per_item:
-                    return (OP_EXTEND_FWD, 0, 0, 0)
+                    return self._starved(OP_EXTEND_FWD)
                 # Starved on bit triples: run one triple batch.
                 need = min(pool.deficit, batch_cap) * pool.triples_per_item
                 n = min(t.triple_chunk, max(need - pools["tri"].level, 1))
@@ -1176,7 +1230,7 @@ class CorrelationService:
                         if pools["cot/fwd"].level <= pools["cot/rev"].level
                         else OP_EXTEND_REV
                     )
-                    return (direction, 0, 0, 0)
+                    return self._starved(direction)
                 n = min(n, avail)
                 lo_f = pools["cot/fwd"].try_reserve_produced(n)
                 lo_r = pools["cot/rev"].try_reserve_produced(n)

@@ -185,3 +185,80 @@ def test_rollback_respects_taken_frontier(produced, taken, rollback):
         dropped = pool.rollback_to(rollback)
         assert dropped == max(0, produced - rollback)
         assert pool.produced == min(produced, max(rollback, taken))
+
+
+# -- shard merge -------------------------------------------------------------
+def _partition(data, lo, hi, label):
+    """Consecutive segments covering [lo, hi) -- a shard ownership map."""
+    if hi - lo <= 1:
+        return [(lo, hi)]
+    cuts = sorted(
+        data.draw(
+            st.sets(st.integers(lo + 1, hi - 1), max_size=8), label=f"{label}-cuts"
+        )
+    )
+    bounds = [lo] + cuts + [hi]
+    return list(zip(bounds, bounds[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_shard_partition_merges_to_sequential_stream(data):
+    """Any partition of a pool's stream space into shard segments,
+    landed via ``append_columns_at`` in any interleaving, merges to the
+    exact sequential stream (content and accounting) -- including
+    across a ``rollback_to``, which must discard every parked segment
+    (post-rollback offsets are reassigned by the merger)."""
+    n = data.draw(st.integers(1, 60), label="n")
+    vals = np.arange(n, dtype=np.uint64)
+    pool = CorrelationPool("shard-fuzz", 1)
+
+    segs = _partition(data, 0, n, "first")
+    order = data.draw(st.permutations(segs), label="order")
+    n_before = data.draw(st.integers(0, len(order)), label="n_before")
+    do_rollback = data.draw(st.booleans(), label="rollback")
+    if not do_rollback:
+        n_before = len(order)
+
+    for lo, hi in order[:n_before]:
+        pool.append_columns_at(lo, (vals[lo:hi],))
+    expect = list(vals[: pool.produced])
+
+    if do_rollback:
+        r = data.draw(st.integers(0, pool.produced), label="r")
+        pool.rollback_to(r)
+        assert pool.produced == r
+        # A real rollback reassigns offsets: nothing may stay parked.
+        assert pool.pending_segments == 0
+        del expect[r:]
+        # The merger re-produces [r, n) -- fresh content, any order.
+        fresh = np.arange(1000, 1000 + n, dtype=np.uint64)
+        for lo, hi in data.draw(
+            st.permutations(_partition(data, r, n, "second")), label="order2"
+        ):
+            pool.append_columns_at(lo, (fresh[lo:hi],))
+        expect.extend(fresh[r:n])
+
+    assert pool.produced == n
+    assert pool.pending_segments == 0
+    assert pool.level == n  # nothing reserved
+    (got,) = pool.take_columns(0, n, timeout=1.0)
+    assert got.tolist() == expect
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_shard_segments_reject_overlap_and_duplicates(data):
+    """The merge path refuses segments that overlap the produced
+    frontier or duplicate a parked offset -- silent double-append would
+    desynchronize the two parties' mirrored streams."""
+    n = data.draw(st.integers(2, 30), label="n")
+    pool = CorrelationPool("shard-dup", 1)
+    pool.append_columns_at(0, (np.arange(n, dtype=np.uint64),))
+    below = data.draw(st.integers(0, n - 1), label="below")
+    with pytest.raises(ServiceError, match="overlaps the produced frontier"):
+        pool.append_columns_at(below, (np.zeros(1, dtype=np.uint64),))
+    ahead = data.draw(st.integers(n + 1, n + 10), label="ahead")
+    pool.append_columns_at(ahead, (np.zeros(2, dtype=np.uint64),))
+    with pytest.raises(ServiceError, match="duplicate segment"):
+        pool.append_columns_at(ahead, (np.zeros(2, dtype=np.uint64),))

@@ -305,3 +305,81 @@ class TestTypedPools:
         assert s.refills == 1 and s.items_refilled == 100
         assert s.hit_rate == 1.0
         assert s.as_dict()["items_drawn"] == 100
+
+
+class TestOutOfOrderAppend:
+    """append_columns_at: the shard-merge landing zone."""
+
+    def test_in_order_is_plain_append(self):
+        pool = CorrelationPool("ooo", 1)
+        pool.append_columns_at(0, (np.arange(4, dtype=np.uint64),))
+        pool.append_columns_at(4, (np.arange(4, 8, dtype=np.uint64),))
+        assert pool.produced == 8
+        assert pool.pending_segments == 0
+        (got,) = pool.take_columns(0, 8, timeout=1.0)
+        assert got.tolist() == list(range(8))
+
+    def test_gap_parks_until_filled(self):
+        pool = CorrelationPool("ooo", 1)
+        pool.append_columns_at(4, (np.arange(4, 8, dtype=np.uint64),))
+        assert pool.produced == 0
+        assert pool.pending_segments == 1
+        pool.append_columns_at(8, (np.arange(8, 10, dtype=np.uint64),))
+        assert pool.produced == 0
+        assert pool.pending_segments == 2
+        # The gap fills: everything drains in one sweep.
+        pool.append_columns_at(0, (np.arange(4, dtype=np.uint64),))
+        assert pool.produced == 10
+        assert pool.pending_segments == 0
+        (got,) = pool.take_columns(0, 10, timeout=1.0)
+        assert got.tolist() == list(range(10))
+
+    def test_parked_segment_wakes_blocked_taker_on_drain(self):
+        pool = CorrelationPool("ooo", 1)
+        out = {}
+
+        def taker():
+            (got,) = pool.take_columns(0, 6, timeout=5.0)
+            out["got"] = got.tolist()
+
+        t = threading.Thread(target=taker)
+        t.start()
+        pool.append_columns_at(3, (np.arange(3, 6, dtype=np.uint64),))
+        pool.append_columns_at(0, (np.arange(3, dtype=np.uint64),))
+        t.join(5.0)
+        assert out["got"] == list(range(6))
+
+    def test_rollback_discards_parked_segments(self):
+        pool = CorrelationPool("ooo", 1)
+        pool.append_columns_at(0, (np.arange(4, dtype=np.uint64),))
+        pool.append_columns_at(6, (np.arange(6, 9, dtype=np.uint64),))
+        assert pool.pending_segments == 1
+        dropped = pool.rollback_to(2)
+        assert dropped == 2
+        assert pool.produced == 2
+        # Post-rollback offsets are reassigned by the merger: stale
+        # parked segments must not resurface.
+        assert pool.pending_segments == 0
+        pool.append_columns_at(2, (np.arange(20, 24, dtype=np.uint64),))
+        (got,) = pool.take_columns(0, 6, timeout=1.0)
+        assert got.tolist() == [0, 1, 20, 21, 22, 23]
+
+    def test_cot_pool_stays_correlated_over_out_of_order_merge(self):
+        delta, z, x, y = make_cot_arrays(12, seed=5)
+        spool = SenderCotPool("cot-s", delta)
+        rpool = ReceiverCotPool("cot-r")
+        # Sender lands in order; receiver merges the same stream with
+        # the tail arriving first (different shard finished early).
+        spool.append_columns_at(0, (z,))
+        rpool.append_columns_at(8, (x[8:], y[8:]))
+        rpool.append_columns_at(0, (x[:8], y[:8]))
+        s = spool.take_batch(0, 12, timeout=1.0)
+        r = rpool.take_batch(0, 12, timeout=1.0)
+        assert verify_cot(s, r)
+
+    def test_column_length_mismatch_rejected(self):
+        pool = CorrelationPool("ooo", 2)
+        with pytest.raises(ServiceError, match="lengths disagree"):
+            pool.append_columns_at(
+                0, (np.zeros(3, dtype=np.uint64), np.zeros(2, dtype=np.uint64))
+            )

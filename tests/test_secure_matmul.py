@@ -4,7 +4,7 @@ Beaver online phase, validated against the analytical cost model."""
 import numpy as np
 import pytest
 
-from repro.errors import ProtocolError
+from repro.errors import ParameterError, ProtocolError
 from repro.mpc.matmul import (
     BYTES_PER_COT,
     FIG16_DIMS,
@@ -137,3 +137,55 @@ class TestSharedConstants:
         assert ppml_matmul.MatmulDims is MatmulDims
         assert ppml_matmul.matmul_cots is matmul_cots
         assert ppml_matmul.FIG16_DIMS is FIG16_DIMS
+
+
+class TestGilboaChunking:
+    """The correction matrix streams in row blocks; the block size is a
+    memory knob only.  Outputs AND wire bytes must be invariant."""
+
+    def run_chunked(self, dims, bits, chunk_rows, seed=3):
+        gen = np.random.default_rng(seed)
+        n_cots = int(matmul_cots(dims, bits))
+        sender_cots, receiver_cots = fake_cots(n_cots, seed=seed + 1)
+        pools = {1: CotPool(sender=sender_cots), 0: CotPool(receiver=receiver_cots)}
+
+        def party(p):
+            def run(ch):
+                rng = np.random.default_rng(100 + p)
+                return generate_matrix_triples(
+                    ch, dims, bits, pools[p], rng, party=p,
+                    ot_sender=1, chunk_rows=chunk_rows,
+                )
+
+            return run
+
+        t0, t1, st0, st1 = run_pair(party(0), party(1), timeout=600.0)
+        return t0, t1, st0.bytes_sent + st1.bytes_sent
+
+    @pytest.mark.parametrize("dims", SMALL_DIMS, ids=lambda d: d.label)
+    def test_chunked_equals_unchunked(self, dims):
+        bits = 16
+        t = int(matmul_cots(dims, bits))
+        # chunk=7 forces many ragged blocks; chunk >= t is one block
+        # (the pre-streaming behavior).
+        t0_a, t1_a, bytes_a = self.run_chunked(dims, bits, chunk_rows=7)
+        t0_b, t1_b, bytes_b = self.run_chunked(dims, bits, chunk_rows=t)
+        for chunked, whole in ((t0_a, t0_b), (t1_a, t1_b)):
+            assert np.array_equal(chunked.a, whole.a)
+            assert np.array_equal(chunked.b, whole.b)
+            assert np.array_equal(chunked.c, whole.c)
+        assert bytes_a == bytes_b
+
+    def test_byte_model_holds_at_tiny_chunks(self):
+        dims = SMALL_DIMS[0]
+        bits = 16
+        _, _, wire = self.run_chunked(dims, bits, chunk_rows=1)
+        assert wire == matmul_preproc_bytes(dims, bits)
+
+    def test_chunk_rows_must_be_positive(self):
+        dims = SMALL_DIMS[0]
+        rng = np.random.default_rng(0)
+        with pytest.raises(ParameterError, match="chunk_rows"):
+            generate_matrix_triples(
+                None, dims, 16, None, rng, party=0, chunk_rows=0
+            )
