@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -42,6 +43,17 @@ METRICS = {
     "faults": lambda p: p["recovery_efficiency"],
     "obs": lambda p: p["instrumentation_overhead"],
     "sharded": lambda p: p["scaling"]["2"],
+    "daemon": lambda p: p["cross_request_speedup"],
+}
+
+#: Metrics that only make sense on runners with enough cores, mapped to
+#: the minimum count.  The 2-shard ratio runs 4 producer processes plus
+#: both service parties: on a <4-core host the measurement is pure
+#: scheduling noise on either side of 1.0, so the floor fails
+#: spuriously.  (PR 8 already gates the >=2.5x@4-shard *assertion* on
+#: core count; the smoke ratio floor needs the same guard.)
+MIN_CORES = {
+    "sharded": 4,
 }
 
 #: What each metric means, for the failure message.
@@ -53,6 +65,7 @@ DESCRIPTIONS = {
     "faults": "chaos recovery efficiency (clean e2e / faulted e2e)",
     "obs": "enabled-instrumentation overhead (traced / untraced online)",
     "sharded": "2-shard vs 1-shard COT serve throughput ratio",
+    "daemon": "warm steady-state vs first-request time-to-first-layer-online",
 }
 
 #: Ceiling metrics: *lower* is better, and the committed baseline value
@@ -85,6 +98,10 @@ FLOORS = {
     # stalled merger shows up as a near-zero ratio (or a bench hang)
     # long before it shows up as "merely not scaling".
     "sharded": 0.3,
+    # Cross-request pipelining: a daemon whose prefill scheduler stopped
+    # overlapping request r+1's production with request r's online tail
+    # collapses the steady-state/first-request ratio to ~1.0x.
+    "daemon": 1.05,
 }
 
 
@@ -122,10 +139,19 @@ def update_baseline(metrics: dict, path: Path) -> None:
     print(f"wrote {path}")
 
 
-def check(metrics: dict, baseline: dict, factor: float) -> list:
+def check(metrics: dict, baseline: dict, factor: float, cores: int = None) -> list:
     """Returns failure strings; empty means the gate passes."""
+    if cores is None:
+        cores = os.cpu_count() or 1
     failures = []
     for name, value in sorted(metrics.items()):
+        need = MIN_CORES.get(name)
+        if need is not None and cores < need:
+            print(
+                f"  {name:16s} {value:8.2f}x  skipped: host has {cores} "
+                f"core(s), metric needs >= {need} to be meaningful"
+            )
+            continue
         base = baseline.get(name)
         if name in CEILINGS:
             ceiling = base if base is not None else CEILINGS[name]

@@ -16,6 +16,7 @@ hardware pipeline model.
 from __future__ import annotations
 
 import hashlib
+import threading
 
 import numpy as np
 
@@ -127,7 +128,20 @@ class ChaChaTreePrg(TreePrg):
         # constants, zero counter, lane indices, salt word -- keyed by
         # batch size, since batched GGM levels reuse the same few sizes
         # on every extend.  expand() then only writes key words + level.
-        self._state_cache: dict = {}
+        # The template is mutated in place per expand, so the cache must
+        # be per-thread: shared instances (e.g. the module-level key-tree
+        # PRG in spcot.protocol) are hit concurrently from both parties'
+        # worker threads in in-process two-party runs, and a shared
+        # template lets one thread rewrite key words while the other is
+        # mid-permutation -- silently corrupting a few children.
+        self._state_local = threading.local()
+
+    @property
+    def _state_cache(self) -> dict:
+        cache = getattr(self._state_local, "cache", None)
+        if cache is None:
+            cache = self._state_local.cache = {}
+        return cache
 
     def _state_template(self, n: int) -> np.ndarray:
         calls = self.calls_per_expand

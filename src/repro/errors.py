@@ -66,6 +66,39 @@ class PoolClosed(ServiceError):
         self.pool = pool
 
 
+class DaemonError(ServiceError):
+    """The persistent inference daemon failed or was used out of contract."""
+
+
+class AdmissionReject(DaemonError):
+    """The daemon's admission controller refused a request: the bounded
+    in-flight window is full.
+
+    A typed reject (instead of queueing unboundedly or hanging) lets
+    closed-loop clients back off and retry; ``inflight``/``limit``
+    record the window state at the decision.
+    """
+
+    def __init__(self, message: str, inflight: int = 0, limit: int = 0):
+        super().__init__(message)
+        self.inflight = inflight
+        self.limit = limit
+
+
+class LeaseExpired(DaemonError):
+    """A session lease lapsed before the client claimed its result.
+
+    The daemon completed (or abandoned) the request and released the
+    session's resources; the result shares are gone and the client must
+    resubmit under a fresh lease.
+    """
+
+    def __init__(self, message: str, session: str = "", token: str = ""):
+        super().__init__(message)
+        self.session = session
+        self.token = token
+
+
 class ServiceDegraded(ServiceError):
     """Production is down (link lost past the retry deadline) but the
     service still serves existing pool stock.

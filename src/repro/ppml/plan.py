@@ -341,7 +341,13 @@ class PreprocessingPlan:
         return cum_derived, cum_cot, internal_cot
 
     def prefill_pipelined(
-        self, service, timeout: float = None, tag: str = None
+        self,
+        service,
+        timeout: float = None,
+        tag: str = None,
+        batch: int = 1,
+        channel=None,
+        draws_baseline: dict = None,
     ) -> "PipelinedPrefill":
         """Start the streaming preprocessing pipeline (non-blocking).
 
@@ -354,10 +360,25 @@ class PreprocessingPlan:
         layer's preprocessing, not the whole plan's.  Call
         :meth:`PipelinedPrefill.finish` after the online phase to
         restore steady-state watermarks and surface worker errors.
+
+        ``batch`` scales every per-layer produce target and raw-COT
+        watermark by B: the online phase then pushes B inputs through
+        the same plan (B matrix-triple draws per linear layer, B-times
+        the elements through each fused nonlinear draw).  ``channel``
+        reuses an existing sub-channel for the in-band baseline
+        exchange instead of allocating a fresh ``pipe/<plan>`` tag --
+        long-lived daemons start many pipelines and per-pipeline tags
+        would leak mux queues.  ``draws_baseline`` overrides the live
+        per-kind session-draw snapshot the raw-COT watermarks are
+        computed against: a pipeline overlapping a previous request's
+        online tail passes the PLANNED cumulative floor instead, so the
+        tail's still-draining draws are not mistaken for its own.
         """
         self._validate_service(service)
         self._ensure_pools(service)
-        return PipelinedPrefill(self, service, timeout, tag)
+        return PipelinedPrefill(
+            self, service, timeout, tag, batch, channel, draws_baseline
+        )
 
     def summary_rows(self) -> list:
         """Printable per-layer rows: layer, COTs per direction, bit
@@ -427,20 +448,50 @@ class PipelinedPrefill:
     sessions may re-introduce stalls, never wrong results.
     """
 
-    def __init__(self, plan: PreprocessingPlan, service, timeout: float, tag: str):
+    def __init__(
+        self,
+        plan: PreprocessingPlan,
+        service,
+        timeout: float,
+        tag: str,
+        batch: int = 1,
+        channel=None,
+        draws_baseline: dict = None,
+    ):
+        if batch < 1:
+            raise ParameterError(f"batch must be >= 1, got {batch}")
         self.plan = plan
         self.service = service
+        self.batch = batch
         self.timeout = (
             service.tuning.take_timeout_s if timeout is None else timeout
         )
         self.error = None
         self.n_layers = len(plan.per_layer)
         self._cum_derived, self._cum_cot, self._internal_cot = plan.layer_schedule()
+        if batch > 1:
+            # Demand counts are linear in element count, so a B-input
+            # request through the same shapes is exactly B-times every
+            # per-layer target and watermark.
+            scale = lambda seq: [  # noqa: E731
+                {kind: count * batch for kind, count in layer.items()}
+                for layer in seq
+            ]
+            self._cum_derived = scale(self._cum_derived)
+            self._cum_cot = scale(self._cum_cot)
+            self._internal_cot = scale(self._internal_cot)
         self._ready = [threading.Event() for _ in range(self.n_layers)]
         self._t0 = time.monotonic()
         self._ready_elapsed = [None] * self.n_layers
-        self._channel = service.mux.sub(tag or f"pipe/{plan.model}")
-        self._draws_baseline = service.session_draw_counts()
+        self._channel = (
+            channel if channel is not None
+            else service.mux.sub(tag or f"pipe/{plan.model}")
+        )
+        self._draws_baseline = (
+            service.session_draw_counts()
+            if draws_baseline is None
+            else dict(draws_baseline)
+        )
         self._saved_cot_marks = None
         self._finished = False
         if service.party == 0:
@@ -586,7 +637,7 @@ class PipelinedPrefill:
         """Seconds from pipeline start until layer i was ready."""
         return self._ready_elapsed[i]
 
-    def finish(self, timeout: float = None) -> None:
+    def finish(self, timeout: float = None, restore: bool = True) -> None:
         """Join the producer thread and restore steady-state watermarks.
 
         Call after the online phase: the raised raw-COT consumer
@@ -595,6 +646,11 @@ class PipelinedPrefill:
         service in the same steady-state shape a one-shot ``prefill``
         leaves behind.  Idempotent; raises if either the pipeline
         thread or the service worker failed.
+
+        ``restore=False`` skips the watermark restore: a daemon chaining
+        pipelines back-to-back must not clobber the marks the NEXT
+        request's pipeline already set -- it restores steady-state marks
+        once, at shutdown.
         """
         if self._finished:
             self._check_failed()
@@ -608,7 +664,7 @@ class PipelinedPrefill:
                 "pipelined prefill producer did not finish in time",
                 what="producer join",
             )
-        if self._saved_cot_marks is not None:
+        if restore and self._saved_cot_marks is not None:
             for kind, (low, high) in self._saved_cot_marks.items():
                 self.service.pools[kind].set_watermarks(low, high)
         self._finished = True

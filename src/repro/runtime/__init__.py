@@ -23,6 +23,12 @@ service degrades (stock still drawable, typed
 down past the retry budget.
 """
 
+from repro.runtime.daemon import (
+    DaemonConfig,
+    DaemonRequest,
+    InferenceDaemon,
+    Lease,
+)
 from repro.runtime.mux import MuxChannel, SubChannel
 from repro.runtime.pool import (
     DEFAULT_WAIT_TIMEOUT_S,
@@ -43,6 +49,10 @@ __all__ = [
     "CorrelationPool",
     "CorrelationService",
     "DEFAULT_WAIT_TIMEOUT_S",
+    "DaemonConfig",
+    "DaemonRequest",
+    "InferenceDaemon",
+    "Lease",
     "MatrixTriplePool",
     "MuxChannel",
     "PoolStats",

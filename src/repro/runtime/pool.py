@@ -214,6 +214,17 @@ class CorrelationPool:
                 raise ServiceError(
                     f"pool {self.name}: duplicate segment at offset {lo}"
                 )
+            # Range disjointness: a segment whose *span* intersects a
+            # parked neighbor at a different offset would survive the
+            # duplicate guard, get parked, and later merge stale data
+            # over the neighbor's range -- silent stream corruption.
+            for seg_lo, seg in self._pending_segments.items():
+                seg_n = seg[0].shape[0]
+                if lo < seg_lo + seg_n and seg_lo < lo + n:
+                    raise ServiceError(
+                        f"pool {self.name}: segment [{lo},{lo + n}) overlaps "
+                        f"parked segment [{seg_lo},{seg_lo + seg_n})"
+                    )
             self._pending_segments[lo] = tuple(arrays)
             advanced = False
             while self._produced in self._pending_segments:
@@ -233,6 +244,24 @@ class CorrelationPool:
         """Out-of-order segments parked above the produced frontier."""
         with self._lock:
             return len(self._pending_segments)
+
+    def drop_pending_segments(self) -> int:
+        """Discard every parked out-of-order segment; returns the count.
+
+        The reconnect resync barrier rolls both parties to the minimum
+        of their produced counts and re-produces everything above it.
+        A parked segment that survived on one side only would collide
+        with the re-produced range at merge time (duplicate/overlap
+        ``ServiceError``), so resync clears the parking lot outright --
+        sharded producers will regenerate those ranges from the new
+        frontier.
+        """
+        with self._cond:
+            dropped = len(self._pending_segments)
+            self._pending_segments.clear()
+            if dropped and self.needs_refill():
+                self.refill.set()
+            return dropped
 
     def rollback_to(self, produced: int) -> int:
         """Discard production past absolute position ``produced``.
@@ -257,11 +286,14 @@ class CorrelationPool:
                 )
             # Parked out-of-order segments describe production beyond the
             # frontier; a rollback invalidates that future, so they are
-            # re-produced rather than replayed from stale buffers.
+            # re-produced rather than replayed from stale buffers.  A
+            # segment that merely *straddles* the rollback point
+            # (seg_lo < produced < seg_lo + len) is just as stale past
+            # ``produced``, so only segments entirely below it survive.
             self._pending_segments = {
                 seg_lo: seg
                 for seg_lo, seg in self._pending_segments.items()
-                if seg_lo < produced
+                if seg_lo + seg[0].shape[0] <= produced
             }
             if produced >= self._produced:
                 return 0

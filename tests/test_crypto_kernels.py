@@ -106,3 +106,43 @@ class TestChaChaTemplateCache:
         a = make_tree_prg("chacha8", arity=4).expand(nodes, 2)
         b = make_tree_prg("chacha8", arity=4).expand(nodes, 2)
         assert np.array_equal(a, b)
+
+    def test_shared_instance_concurrent_expand_bit_exact(self):
+        # Regression: the state template is mutated in place per expand,
+        # and module-level PRG instances (spcot.protocol._KEY_TREE_PRG)
+        # are hit from both parties' worker threads when a two-party
+        # protocol runs in one process.  With a process-wide template
+        # cache, one thread rewrites key words while the other is
+        # mid-permutation, corrupting a few children; the cache must be
+        # per-thread so concurrent expands stay bit-exact.
+        import sys
+        import threading
+
+        rng = np.random.default_rng(14)
+        prg = ChaChaTreePrg(arity=2, rounds=8)
+        jobs = []
+        for level in (1, 2):
+            nodes = blocks.random_blocks(16, rng)
+            ref = ChaChaTreePrg(arity=2, rounds=8).expand(nodes, level)
+            jobs.append((nodes, level, ref))
+        bad = [0] * len(jobs)
+        barrier = threading.Barrier(len(jobs))
+
+        def worker(idx, nodes, level, ref):
+            barrier.wait()
+            for _ in range(500):
+                if not np.array_equal(prg.expand(nodes, level), ref):
+                    bad[idx] += 1
+
+        threads = [
+            threading.Thread(target=worker, args=(i, *job))
+            for i, job in enumerate(jobs)
+        ]
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # force frequent preemption
+        try:
+            [t.start() for t in threads]
+            [t.join() for t in threads]
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert bad == [0] * len(jobs)

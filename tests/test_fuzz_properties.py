@@ -246,6 +246,82 @@ def test_shard_partition_merges_to_sequential_stream(data):
     assert got.tolist() == expect
 
 
+@settings(max_examples=80, deadline=None)
+@given(data=st.data())
+def test_out_of_order_append_interleaved_with_rollback(data):
+    """Model-based fuzz of ``append_columns_at`` interleaved with
+    ``rollback_to`` and sequential takes: the pool must mirror a simple
+    reference model exactly -- frontier, parked-segment count, stream
+    content -- under any interleaving.  In particular a rollback must
+    discard every parked segment not entirely below the target
+    (straddlers included), and an arriving segment whose range overlaps
+    a parked one must be rejected, never merged."""
+    pool = CorrelationPool("ooo-fuzz", 1)
+    stream = []  # model: values landed below the frontier, in order
+    parked = {}  # model: lo -> values parked above the frontier
+    counter = 0  # fresh value source; rollbacks never reuse values
+    next_take = 0
+
+    for _ in range(data.draw(st.integers(1, 30), label="steps")):
+        op = data.draw(st.sampled_from(["append_at", "take", "rollback"]))
+        if op == "append_at":
+            lo = data.draw(
+                st.integers(max(0, len(stream) - 3), len(stream) + 16), label="lo"
+            )
+            k = data.draw(st.integers(1, 6), label="k")
+            vals = np.arange(counter, counter + k, dtype=np.uint64)
+            overlap = any(
+                lo < seg_lo + len(seg) and seg_lo < lo + k
+                for seg_lo, seg in parked.items()
+            )
+            if lo < len(stream):
+                with pytest.raises(ServiceError, match="produced frontier"):
+                    pool.append_columns_at(lo, (vals,))
+            elif lo in parked:
+                with pytest.raises(ServiceError, match="duplicate segment"):
+                    pool.append_columns_at(lo, (vals,))
+            elif overlap:
+                with pytest.raises(ServiceError, match="overlaps parked"):
+                    pool.append_columns_at(lo, (vals,))
+            else:
+                pool.append_columns_at(lo, (vals,))
+                counter += k
+                parked[lo] = list(vals)
+                while len(stream) in parked:
+                    stream.extend(parked.pop(len(stream)))
+        elif op == "take":
+            k = data.draw(st.integers(1, 6), label="take-k")
+            if len(stream) - next_take >= k:
+                (got,) = pool.take_columns(next_take, k, timeout=1.0)
+                assert got.tolist() == stream[next_take : next_take + k]
+                next_take += k
+        else:  # rollback
+            r = data.draw(st.integers(0, len(stream) + 8), label="r")
+            if r < next_take:
+                with pytest.raises(ServiceError, match="cannot roll back"):
+                    pool.rollback_to(r)
+            else:
+                pool.rollback_to(r)
+                del stream[r:]
+                # Only segments entirely below the target survive; a
+                # straddler is stale past it and must be re-produced.
+                parked = {
+                    lo: seg
+                    for lo, seg in parked.items()
+                    if lo + len(seg) <= r
+                }
+
+        assert pool.produced == len(stream)
+        assert pool.pending_segments == len(parked)
+        assert pool.level == len(stream)  # nothing reserved
+
+    if len(stream) > next_take:
+        (got,) = pool.take_columns(
+            next_take, len(stream) - next_take, timeout=1.0
+        )
+        assert got.tolist() == stream[next_take:]
+
+
 @settings(max_examples=40, deadline=None)
 @given(data=st.data())
 def test_shard_segments_reject_overlap_and_duplicates(data):

@@ -383,3 +383,55 @@ class TestOutOfOrderAppend:
             pool.append_columns_at(
                 0, (np.zeros(3, dtype=np.uint64), np.zeros(2, dtype=np.uint64))
             )
+
+    def test_range_overlap_with_parked_segment_rejected(self):
+        # Regression: the duplicate guard only caught an exact-lo match;
+        # a segment overlapping a parked neighbor at a DIFFERENT offset
+        # was parked too and silently corrupted the merged stream.
+        pool = CorrelationPool("ooo", 1)
+        pool.append_columns_at(100, (np.arange(50, dtype=np.uint64),))
+        with pytest.raises(ServiceError, match="overlaps parked segment"):
+            pool.append_columns_at(120, (np.arange(50, dtype=np.uint64),))
+        with pytest.raises(ServiceError, match="overlaps parked segment"):
+            pool.append_columns_at(80, (np.arange(30, dtype=np.uint64),))
+        # Entirely contained inside a parked range is an overlap too.
+        with pytest.raises(ServiceError, match="overlaps parked segment"):
+            pool.append_columns_at(110, (np.arange(10, dtype=np.uint64),))
+        # Exactly adjacent ranges are disjoint and must still park.
+        pool.append_columns_at(150, (np.arange(10, dtype=np.uint64),))
+        pool.append_columns_at(90, (np.arange(10, dtype=np.uint64),))
+        assert pool.pending_segments == 3
+
+    def test_rollback_discards_straddling_parked_segment(self):
+        # Regression: a parked segment straddling the rollback point
+        # (seg_lo < produced < seg_lo + len) survived the `seg_lo <
+        # produced` filter and later replayed stale production past the
+        # rollback, contradicting "re-produced rather than replayed".
+        pool = CorrelationPool("ooo", 1)
+        pool.append_columns_at(0, (np.arange(10, dtype=np.uint64),))
+        pool.take_columns(0, 4, timeout=1.0)
+        pool.append_columns_at(12, (np.arange(112, 120, dtype=np.uint64),))
+        assert pool.pending_segments == 1
+        # Roll back to 15, INSIDE the parked [12, 20): the segment is
+        # stale past the rollback point and must go, even though the
+        # produced frontier (10) itself does not move.
+        assert pool.rollback_to(15) == 0
+        assert pool.produced == 10
+        assert pool.pending_segments == 0
+        # Filling the gap must NOT drain the stale segment's range.
+        pool.append_columns_at(10, (np.arange(210, 212, dtype=np.uint64),))
+        assert pool.produced == 12
+        # Re-produced data owns [12, 20) outright.
+        pool.append_columns_at(12, (np.arange(212, 220, dtype=np.uint64),))
+        (got,) = pool.take_columns(10, 10, timeout=1.0)
+        assert got.tolist() == list(range(210, 220))
+
+    def test_drop_pending_segments_clears_the_parking_lot(self):
+        pool = CorrelationPool("ooo", 1)
+        pool.append_columns_at(0, (np.arange(4, dtype=np.uint64),))
+        pool.append_columns_at(8, (np.arange(8, 12, dtype=np.uint64),))
+        pool.append_columns_at(16, (np.arange(16, 20, dtype=np.uint64),))
+        assert pool.drop_pending_segments() == 2
+        assert pool.pending_segments == 0
+        assert pool.produced == 4
+        assert pool.drop_pending_segments() == 0
